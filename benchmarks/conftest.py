@@ -1,0 +1,39 @@
+"""Benchmark-harness fixtures.
+
+Every bench renders its paper-vs-measured table through :func:`emit`, which
+prints it (visible with ``pytest -s`` and in the benchmark log) and writes
+it under ``benchmarks/results/`` so the full set of reproduced tables can
+be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.gpusim.device import get_device
+from repro.gpusim.engine import TimingEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def rtx4090():
+    return get_device("RTX 4090")
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return TimingEngine()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,38 @@
+"""Ablation: batch count vs throughput and launch latency in graph mode
+(DESIGN.md ablation #3; paper §III-F explores "appropriate batch sizes").
+"""
+
+from repro.analysis import format_table
+from repro.core.batch import run_batch
+from repro.params import get_params
+
+BATCH_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_ablation_graph_batch(rtx4090, engine, emit, benchmark):
+    params = get_params("128f")
+    results = benchmark(lambda: {
+        batches: run_batch(params, rtx4090, "graph", messages=1024,
+                           batches=batches, engine=engine)
+        for batches in BATCH_COUNTS
+    })
+
+    rows = [
+        [batches, round(r.kops, 2), round(r.launch_latency_us, 2),
+         round(r.gpu_idle_s * 1e6, 1)]
+        for batches, r in results.items()
+    ]
+    emit("ablation_graph_batch", format_table(
+        ["graphs (batches)", "KOPS", "launch latency us", "idle us"],
+        rows,
+        title="Ablation — graph count vs throughput, 1024 messages of "
+              "SPHINCS+-128f",
+    ))
+
+    kops = {b: r.kops for b, r in results.items()}
+    latency = {b: r.launch_latency_us for b, r in results.items()}
+    # Throughput is insensitive to the split (machine-seconds conserve)...
+    assert max(kops.values()) / min(kops.values()) < 1.3
+    # ...but launch latency grows with graph count (one launch per graph),
+    # the trade-off behind the paper's "appropriate batch sizes".
+    assert latency[64] > latency[1]

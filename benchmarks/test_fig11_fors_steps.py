@@ -1,0 +1,44 @@
+"""Figure 11: FORS_Sign optimization ladder — Baseline -> MMTP -> +FS ->
++PTX -> +HybridME -> +FreeBank, step and cumulative speedups."""
+
+from repro.analysis import PAPER, format_table
+from repro.analysis.reporting import shape_check
+from repro.core.pipeline import optimization_ladder
+from repro.params import get_params
+
+
+def test_fig11_fors_steps(rtx4090, engine, emit, benchmark):
+    ladders = benchmark(lambda: {
+        alias: optimization_ladder(get_params(alias), rtx4090, engine=engine)
+        for alias in ("128f", "192f", "256f")
+    })
+
+    rows = []
+    for alias, steps in ladders.items():
+        paper = PAPER["fig11_fors_steps_kops"][alias]
+        paper_base = paper["Baseline"]
+        for step in steps:
+            rows.append([
+                alias, step.name,
+                paper[step.name], round(step.kops, 1),
+                f"{paper[step.name] / paper_base:.2f}x",
+                f"{step.cumulative_speedup:.2f}x",
+                f"{step.step_speedup:.2f}x",
+            ])
+    emit("fig11_fors_steps", format_table(
+        ["set", "step", "KOPS (paper)", "KOPS (model)",
+         "cumulative (paper)", "cumulative (model)", "step (model)"],
+        rows,
+        title="Figure 11 — FORS_Sign optimization steps (block = 1024, RTX 4090)",
+    ))
+
+    for alias, steps in ladders.items():
+        paper = PAPER["fig11_fors_steps_kops"][alias]
+        # No step regresses, cumulative within +-50% of the paper's.
+        for step in steps[1:]:
+            assert step.step_speedup >= 0.99, f"{alias}/{step.name}"
+        paper_cum = paper["+FreeBank"] / paper["Baseline"]
+        shape_check(steps[-1].cumulative_speedup, paper_cum, 0.5,
+                    label=f"fig11 cumulative {alias}")
+        shape_check(steps[0].kops, paper["Baseline"], 1.0,
+                    label=f"fig11 baseline {alias}")

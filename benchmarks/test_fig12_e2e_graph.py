@@ -1,0 +1,89 @@
+"""Figure 12: end-to-end throughput (KOPS) and kernel launch latency (us)
+across the four execution strategies, plus the block-size-sweep launch
+latency total that matches the paper's Nsight aggregation.
+"""
+
+from repro.analysis import PAPER, format_table
+from repro.core.batch import MODES, end_to_end_kops, run_batch
+from repro.params import get_params
+
+SWEEP_SIZES = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _sweep_latency(params, device, engine, mode):
+    """Total launch latency across the block-size sweep — the paper's
+    measurement aggregates its Nsight traces over the experiment sweep."""
+    total = 0.0
+    for size in SWEEP_SIZES:
+        # One batch per run: the latency-optimal configuration (a single
+        # instantiated graph covering the workload) that the paper's
+        # launch-latency measurement reflects.
+        result = run_batch(params, device, mode, messages=size,
+                           batches=1, engine=engine)
+        total += result.launch_latency_us
+    return total
+
+
+def test_fig12_performance(rtx4090, engine, emit, benchmark):
+    results = benchmark(lambda: {
+        alias: end_to_end_kops(get_params(alias), rtx4090, engine=engine)
+        for alias in ("128f", "192f", "256f")
+    })
+
+    rows = []
+    for alias, modes in results.items():
+        paper = PAPER["fig12_e2e_kops"][alias]
+        for mode in MODES:
+            rows.append([
+                alias, mode, paper[mode], round(modes[mode].kops, 2),
+                round(modes[mode].launch_latency_us, 1),
+            ])
+    emit("fig12_e2e_performance", format_table(
+        ["set", "mode", "KOPS (paper)", "KOPS (model)",
+         "launch latency us (model, one workload)"],
+        rows,
+        title="Figure 12 — end-to-end performance (1024 messages, RTX 4090)",
+    ))
+
+    for alias, modes in results.items():
+        assert modes["baseline"].kops < modes["baseline-graph"].kops
+        assert modes["baseline"].kops < modes["streams"].kops
+        assert modes["baseline-graph"].kops < modes["graph"].kops
+        speedup = modes["graph"].kops / modes["baseline"].kops
+        assert 1.1 <= speedup <= 2.0
+
+
+def test_fig12_launch_latency_sweep(rtx4090, engine, emit, benchmark):
+    rows = []
+    reductions = {}
+    latencies = benchmark(lambda: {
+        alias: {
+            mode: _sweep_latency(get_params(alias), rtx4090, engine, mode)
+            for mode in ("baseline", "streams", "graph")
+        }
+        for alias in ("128f", "192f", "256f")
+    })
+    for alias in ("128f", "192f", "256f"):
+        paper = PAPER["fig12_launch_latency_us"][alias]
+        lat = latencies[alias]
+        reductions[alias] = lat["baseline"] / lat["graph"]
+        rows.append([
+            alias,
+            paper["baseline"], round(lat["baseline"], 1),
+            paper["streams"], round(lat["streams"], 1),
+            paper["graph"], round(lat["graph"], 1),
+            f"{reductions[alias]:.1f}x",
+        ])
+    emit("fig12_launch_latency", format_table(
+        ["set", "baseline us (paper)", "baseline us (model)",
+         "streams us (paper)", "streams us (model)",
+         "graph us (paper)", "graph us (model)", "reduction (model)"],
+        rows,
+        title="Figure 12 — kernel launch latency, summed over the "
+              "block-size sweep 2..1024",
+    ))
+
+    # The paper's headline: graphs cut launch latency by up to two orders
+    # of magnitude (86x-221x).  Require >= 40x in the model.
+    for alias, reduction in reductions.items():
+        assert reduction >= 40, f"{alias}: only {reduction:.0f}x"

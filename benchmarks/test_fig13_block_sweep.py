@@ -1,0 +1,54 @@
+"""Figure 13: sensitivity to block (batch) size 2..1024 — baseline vs
+HERO-Sign (with graph) throughput and speedup."""
+
+from repro.analysis import PAPER, format_table
+from repro.core.batch import run_batch
+from repro.params import get_params
+
+SIZES = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _sweep(params, device, engine):
+    out = []
+    for size in SIZES:
+        base = run_batch(params, device, "baseline", messages=size,
+                         batches=1, engine=engine)
+        hero = run_batch(params, device, "graph", messages=size,
+                         batches=min(8, size), engine=engine)
+        out.append((size, base.kops, hero.kops, hero.kops / base.kops))
+    return out
+
+
+def test_fig13_block_sweep(rtx4090, engine, emit, benchmark):
+    sweeps = benchmark(lambda: {
+        alias: _sweep(get_params(alias), rtx4090, engine)
+        for alias in ("128f", "192f", "256f")
+    })
+
+    rows = []
+    for alias, sweep in sweeps.items():
+        for size, base, hero, speedup in sweep:
+            rows.append([alias, size, round(base, 2), round(hero, 2),
+                         f"{speedup:.2f}x"])
+    emit("fig13_block_sweep", format_table(
+        ["set", "block size", "baseline KOPS", "HERO KOPS", "speedup"],
+        rows,
+        title="Figure 13 — block-size sensitivity (RTX 4090, graph mode)",
+    ))
+
+    for alias, sweep in sweeps.items():
+        speedups = {size: s for size, _, _, s in sweep}
+        paper_small, paper_large = PAPER["fig13_speedup_range"][alias]
+        # Paper shape: HERO-Sign wins at every block size, with the
+        # full-block speedup in the paper's 1.28-1.42x neighbourhood.
+        # The model reproduces the decreasing small-block trend for
+        # 128f/192f; at 256f the Relax-FORS advantage needs occupancy, so
+        # the model's trend flattens (under-reproduced small-block
+        # magnitude — see EXPERIMENTS.md).
+        assert all(s > 1.1 for s in speedups.values()), alias
+        assert 1.05 <= speedups[1024] <= 2.0
+        if alias in ("128f", "192f"):
+            assert speedups[2] > speedups[1024]
+        # Throughput itself grows with block size for HERO.
+        hero_kops = [h for _, _, h, _ in sweep]
+        assert hero_kops[-1] > hero_kops[0]

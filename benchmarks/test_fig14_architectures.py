@@ -1,0 +1,66 @@
+"""Figure 14: baseline vs HERO-Sign (with graph) across GPU architectures
+(Pascal, Volta, Turing, Ampere, Hopper — plus the RTX 4090 reference)."""
+
+from repro.analysis import PAPER, format_table
+from repro.core.batch import run_batch
+from repro.gpusim.device import get_device
+from repro.params import get_params
+
+ARCHES = {
+    "Pascal": "GTX 1070",
+    "Volta": "V100",
+    "Turing": "RTX 2080 Ti",
+    "Ampere": "A100",
+    "Ada": "RTX 4090",
+    "Hopper": "H100",
+}
+
+
+def _run(engine):
+    out = {}
+    for arch, device_name in ARCHES.items():
+        device = get_device(device_name)
+        out[arch] = {}
+        for alias in ("128f", "192f", "256f"):
+            params = get_params(alias)
+            base = run_batch(params, device, "baseline", engine=engine)
+            hero = run_batch(params, device, "graph", engine=engine)
+            out[arch][alias] = (base.kops, hero.kops)
+    return out
+
+
+def test_fig14_architectures(engine, emit, benchmark):
+    results = benchmark(_run, engine)
+
+    rows = []
+    for arch, sets in results.items():
+        for alias, (base, hero) in sets.items():
+            paper_speedup = PAPER["fig14_speedups"].get(arch, {}).get(alias)
+            rows.append([
+                arch, alias, round(base, 2), round(hero, 2),
+                f"{hero / base:.2f}x",
+                f"{paper_speedup}x" if paper_speedup else "n/a (reference)",
+            ])
+    emit("fig14_architectures", format_table(
+        ["architecture", "set", "baseline KOPS", "HERO KOPS",
+         "speedup (model)", "speedup (paper)"],
+        rows,
+        title="Figure 14 — cross-architecture comparison (block = 1024)",
+    ))
+
+    # Shape assertions from the paper's §IV-F discussion.
+    for alias in ("128f", "192f", "256f"):
+        # HERO-Sign wins on every architecture.
+        for arch in ARCHES:
+            base, hero = results[arch][alias]
+            assert hero > base, f"{arch}/{alias}"
+        # RTX 4090 delivers the highest absolute throughput.
+        ada = results["Ada"][alias][1]
+        for arch in ("Pascal", "Volta", "Turing", "Hopper"):
+            assert ada > results[arch][alias][1], f"{arch}/{alias}"
+    # Pascal has the lowest absolute throughput of all architectures.
+    for alias in ("128f", "192f", "256f"):
+        pascal = results["Pascal"][alias][1]
+        for arch in ARCHES:
+            if arch != "Pascal":
+                assert results[arch][alias][1] > pascal

@@ -1,0 +1,35 @@
+"""Table X: AVX2 CPU throughput (KOPS), single thread and 16 threads."""
+
+import pytest
+
+from repro.analysis import PAPER, format_table
+from repro.cpu.avx2 import Avx2Model
+from repro.params import get_params
+
+
+def test_table10_avx2(emit, benchmark):
+    model = Avx2Model()
+    measured = benchmark(lambda: {
+        alias: (model.kops(get_params(alias), 1),
+                model.kops(get_params(alias), 16))
+        for alias in ("128f", "192f", "256f")
+    })
+
+    rows = []
+    for alias, (single, sixteen) in measured.items():
+        rows.append([
+            f"SPHINCS+-{alias}",
+            PAPER["table10_avx2"]["single"][alias], round(single, 4),
+            PAPER["table10_avx2"]["threads16"][alias], round(sixteen, 4),
+        ])
+    emit("table10_avx2", format_table(
+        ["parameter set", "1 thread (paper)", "1 thread (model)",
+         "16 threads (paper)", "16 threads (model)"],
+        rows,
+        title="Table X — AVX2 CPU throughput (KOPS)",
+    ))
+
+    for alias, (single, _) in measured.items():
+        assert single == pytest.approx(
+            PAPER["table10_avx2"]["single"][alias], rel=0.05
+        )

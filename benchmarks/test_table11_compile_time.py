@@ -1,0 +1,48 @@
+"""Table XI: average compilation time, baseline vs HERO-Sign's
+compile-time branching (constexpr-if specialization + PTX branches)."""
+
+import pytest
+
+from repro.analysis import PAPER, format_table
+from repro.gpusim.compile_time import CompileTimeModel
+from repro.gpusim.compiler import Branch
+from repro.params import get_params
+
+SELECTIONS = {
+    "128f": {"FORS_Sign": Branch.PTX},
+    "192f": {"FORS_Sign": Branch.PTX},
+    "256f": {"FORS_Sign": Branch.PTX, "TREE_Sign": Branch.PTX,
+             "WOTS_Sign": Branch.PTX},
+}
+
+
+def test_table11_compile_time(emit, benchmark):
+    model = CompileTimeModel()
+    reports = benchmark(lambda: {
+        alias: model.report(get_params(alias), SELECTIONS[alias])
+        for alias in SELECTIONS
+    })
+
+    rows = []
+    for alias, report in reports.items():
+        paper = PAPER["table11_compile_s"][alias]
+        rows.append([
+            f"SPHINCS+-{alias}",
+            paper["baseline"], round(report.baseline_s, 2),
+            paper["herosign"], round(report.herosign_s, 2),
+            f"{paper['baseline'] / paper['herosign']:.2f}x",
+            f"{report.speedup:.2f}x",
+        ])
+    emit("table11_compile_time", format_table(
+        ["parameter set", "baseline s (paper)", "baseline s (model)",
+         "HERO s (paper)", "HERO s (model)", "speedup (paper)",
+         "speedup (model)"],
+        rows,
+        title="Table XI — average compilation time (block sizes 2..1024)",
+    ))
+
+    for alias, report in reports.items():
+        paper = PAPER["table11_compile_s"][alias]
+        assert report.baseline_s == pytest.approx(paper["baseline"], rel=0.03)
+        assert report.speedup > 1.0
+        assert report.herosign_s == pytest.approx(paper["herosign"], rel=0.25)

@@ -1,0 +1,62 @@
+"""Table II: TCAS-SPHINCSp time breakdown (FORS / idle / MSS / WOTS+), ms.
+
+Workload: 1024 messages on the modeled RTX 4090, baseline feature set.
+The idle row comes from the baseline's host-synchronized launch flow on
+the execution timeline.
+"""
+
+import pytest
+
+from repro.analysis import PAPER, format_table
+from repro.analysis.reporting import shape_check
+from repro.core.baseline import baseline_plans
+from repro.core.batch import run_batch
+from repro.core.pipeline import kernel_report
+from repro.params import get_params
+
+ALIASES = ("128f", "192f", "256f")
+
+
+def _breakdown(alias, rtx4090, engine):
+    params = get_params(alias)
+    plans = baseline_plans(params, rtx4090)
+    times = {
+        name: kernel_report(plan, engine).time_ms
+        for name, plan in plans.items()
+    }
+    batch = run_batch(params, rtx4090, "baseline", engine=engine)
+    return {
+        "FORS": times["FORS_Sign"],
+        "idle": batch.gpu_idle_s * 1e3,
+        "MSS": times["TREE_Sign"],
+        "WOTS": times["WOTS_Sign"],
+    }
+
+
+def test_table2_baseline_breakdown(rtx4090, engine, emit, benchmark):
+    rows = []
+    measured_all = {}
+    for alias in ALIASES:
+        measured = _breakdown(alias, rtx4090, engine)
+        measured_all[alias] = measured
+        paper = PAPER["table2_breakdown_ms"][alias]
+        for component in ("FORS", "idle", "MSS", "WOTS"):
+            rows.append([
+                f"SPHINCS+-{alias}", component,
+                round(paper[component], 2), round(measured[component], 2),
+            ])
+    emit("table2_baseline_breakdown", format_table(
+        ["parameter set", "component", "paper ms", "measured ms"], rows,
+        title="Table II — TCAS-SPHINCSp time breakdown (1024 messages, RTX 4090)",
+    ))
+
+    # Shape: MSS dominates everywhere; FORS and MSS within x2.5 of paper.
+    for alias in ALIASES:
+        m = measured_all[alias]
+        assert m["MSS"] == max(m.values())
+        shape_check(m["FORS"], PAPER["table2_breakdown_ms"][alias]["FORS"],
+                    1.5, label=f"FORS {alias}")
+        shape_check(m["MSS"], PAPER["table2_breakdown_ms"][alias]["MSS"],
+                    1.5, label=f"MSS {alias}")
+
+    benchmark(_breakdown, "128f", rtx4090, engine)

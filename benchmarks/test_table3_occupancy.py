@@ -1,0 +1,41 @@
+"""Table III: baseline kernel profile for 128f — warp occupancy,
+theoretical occupancy, registers per thread."""
+
+from repro.analysis import PAPER, format_table
+from repro.core.baseline import baseline_plans
+from repro.core.pipeline import kernel_report
+from repro.params import get_params
+
+
+def test_table3_occupancy(rtx4090, engine, emit, benchmark):
+    plans = baseline_plans(get_params("128f"), rtx4090)
+    reports = benchmark(
+        lambda: {k: kernel_report(p, engine) for k, p in plans.items()}
+    )
+    paper = PAPER["table3_occupancy_128f"]
+
+    rows = []
+    for kernel in ("FORS_Sign", "TREE_Sign", "WOTS_Sign"):
+        prof = reports[kernel].profile
+        rows.append([
+            kernel,
+            paper[kernel]["warp_occ"], round(prof.warp_occupancy_pct, 2),
+            paper[kernel]["theoretical_occ"],
+            round(prof.theoretical_occupancy_pct, 2),
+            paper[kernel]["regs"], prof.registers_per_thread,
+        ])
+    emit("table3_occupancy", format_table(
+        ["kernel", "warp occ % (paper)", "warp occ % (model)",
+         "theoretical % (paper)", "theoretical % (model)",
+         "regs (paper)", "regs (model)"],
+        rows,
+        title="Table III — baseline kernel profile, SPHINCS+-128f on RTX 4090",
+    ))
+
+    # Registers are anchored exactly; occupancies must preserve ordering.
+    for kernel in paper:
+        assert reports[kernel].profile.registers_per_thread == paper[kernel]["regs"]
+    model_theory = {
+        k: reports[k].profile.theoretical_occupancy_pct for k in paper
+    }
+    assert model_theory["FORS_Sign"] > model_theory["WOTS_Sign"] > model_theory["TREE_Sign"]

@@ -1,0 +1,46 @@
+"""Table V: profiling-driven PTX/native selection per kernel per set."""
+
+from repro.analysis import PAPER, format_table
+from repro.core.branch_select import select_branches
+from repro.core.kernels import OptimizationFlags, build_plans
+from repro.gpusim.compiler import Branch
+from repro.params import get_params
+
+BRANCHES = {k: Branch.NATIVE for k in ("FORS_Sign", "TREE_Sign", "WOTS_Sign")}
+
+
+def _select_all(rtx4090, engine):
+    out = {}
+    for alias in ("128f", "192f", "256f"):
+        plans = build_plans(get_params(alias), rtx4090,
+                            OptimizationFlags.full(), branches=BRANCHES)
+        out[alias] = select_branches(plans, engine)
+    return out
+
+
+def test_table5_ptx_selection(rtx4090, engine, emit, benchmark):
+    selections = benchmark(_select_all, rtx4090, engine)
+
+    def mark(flag):
+        return "PTX" if flag else "native"
+
+    rows = []
+    for alias, choices in selections.items():
+        paper = PAPER["table5_ptx_selection"][alias]
+        for kernel in ("FORS_Sign", "TREE_Sign", "WOTS_Sign"):
+            choice = choices[kernel]
+            rows.append([
+                f"SPHINCS+-{alias}", kernel,
+                mark(paper[kernel]), mark(choice.ptx_selected),
+                round(choice.speedup, 3),
+            ])
+    emit("table5_ptx_selection", format_table(
+        ["parameter set", "kernel", "paper pick", "model pick",
+         "winner speedup"],
+        rows,
+        title="Table V — PTX branch selection (block = 1024, RTX 4090)",
+    ))
+
+    for alias, choices in selections.items():
+        for kernel, want in PAPER["table5_ptx_selection"][alias].items():
+            assert choices[kernel].ptx_selected == want, f"{alias}/{kernel}"

@@ -1,0 +1,45 @@
+"""Table VIII: per-kernel comparison, baseline vs HERO-Sign (block = 1024):
+KOPS, occupancy, compute throughput, memory throughput."""
+
+from repro.analysis import PAPER, format_table
+from repro.analysis.reporting import shape_check
+from repro.core.pipeline import kernel_comparison
+from repro.params import get_params
+
+
+def test_table8_kernel_comparison(rtx4090, engine, emit, benchmark):
+    comparisons = benchmark(lambda: {
+        alias: kernel_comparison(get_params(alias), rtx4090, engine)
+        for alias in ("128f", "192f", "256f")
+    })
+
+    rows = []
+    for alias, cmp in comparisons.items():
+        paper_set = PAPER["table8_kernels"][alias]
+        for kernel, (base, hero) in cmp.items():
+            paper = paper_set[kernel]
+            rows.append([
+                f"{alias}", kernel,
+                f"{paper['kops'][0]}/{paper['kops'][1]}",
+                f"{base.kops:.1f}/{hero.kops:.1f}",
+                f"{paper['kops'][1] / paper['kops'][0]:.2f}x",
+                f"{hero.kops / base.kops:.2f}x",
+                f"{base.profile.warp_occupancy_pct:.1f}->"
+                f"{hero.profile.warp_occupancy_pct:.1f}",
+                f"{base.profile.compute_throughput_pct:.1f}->"
+                f"{hero.profile.compute_throughput_pct:.1f}",
+            ])
+    emit("table8_kernel_comparison", format_table(
+        ["set", "kernel", "KOPS paper (base/hero)", "KOPS model (base/hero)",
+         "speedup paper", "speedup model", "occ % model", "compute % model"],
+        rows,
+        title="Table VIII — kernel performance, baseline vs HERO-Sign "
+              "(block = 1024, RTX 4090)",
+    ))
+
+    for alias, cmp in comparisons.items():
+        for kernel, (base, hero) in cmp.items():
+            paper = PAPER["table8_kernels"][alias][kernel]["kops"]
+            assert hero.kops > base.kops
+            shape_check(hero.kops / base.kops, paper[1] / paper[0], 0.4,
+                        label=f"speedup {alias}/{kernel}")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Auto-tune HERO-Sign for every GPU in the catalog.
+
+Walks the paper's deployment flow (§IV-A) per device:
+
+1. query the device's shared-memory limits (``cudaGetDeviceProperties``),
+2. run the offline Tree Tuning search (Algorithm 1) — with Relax-FORS
+   where a single FORS tree would crowd the budget,
+3. profile both SHA-256 branches per kernel and bake in the winners,
+4. report the tuned configuration and its predicted throughput.
+
+Usage: python examples/autotune_gpu.py [parameter-set]   (default 256f)
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.core.batch import run_batch
+from repro.core.kernels import OptimizationFlags, build_plans
+from repro.core.branch_select import select_branches
+from repro.gpusim.compiler import Branch
+from repro.gpusim.device import DEVICES
+from repro.gpusim.engine import TimingEngine
+from repro.params import get_params
+
+
+def main() -> None:
+    alias = sys.argv[1] if len(sys.argv) > 1 else "256f"
+    params = get_params(alias)
+    engine = TimingEngine()
+    natives = {k: Branch.NATIVE for k in ("FORS_Sign", "TREE_Sign", "WOTS_Sign")}
+
+    rows = []
+    for name, device in sorted(DEVICES.items()):
+        props = device.query()  # the Tree Tuning probe
+        plans = build_plans(params, device, OptimizationFlags.full(),
+                            branches=natives)
+        fors = plans["FORS_Sign"].fors_plan
+        choices = select_branches(plans, engine)
+        picks = "/".join(
+            "PTX" if choices[k].ptx_selected else "nat"
+            for k in ("FORS_Sign", "TREE_Sign", "WOTS_Sign")
+        )
+        hero = run_batch(params, device, "graph", engine=engine)
+        base = run_batch(params, device, "baseline", engine=engine)
+        rows.append([
+            name, device.architecture,
+            props["sharedMemPerBlockOptin"] // 1024,
+            f"({fors.threads_per_block},{fors.fusion_f})",
+            "yes" if fors.relax else "no",
+            picks,
+            round(hero.kops, 2),
+            f"{hero.kops / base.kops:.2f}x",
+        ])
+
+    print(format_table(
+        ["device", "arch", "smem KB", "(T_set, F)", "relax",
+         "branches F/T/W", "HERO KOPS", "vs baseline"],
+        rows,
+        title=f"HERO-Sign auto-tuning, SPHINCS+-{alias} across the catalog",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures, paper-vs-model side by side.
+
+Usage:
+    python examples/reproduce_paper.py            # everything
+    python examples/reproduce_paper.py table8     # one experiment
+    python examples/reproduce_paper.py fig11 fig12
+
+Experiments: table2, table4, table5, table8, table10, table11, fig11, fig12.
+"""
+
+import sys
+
+from repro.analysis import experiments
+
+
+def main() -> None:
+    runners = {
+        "table2": experiments.run_table2,
+        "table4": experiments.run_table4,
+        "table5": experiments.run_table5,
+        "table8": experiments.run_table8,
+        "table10": experiments.run_table10,
+        "table11": experiments.run_table11,
+        "fig11": experiments.run_fig11,
+        "fig12": experiments.run_fig12,
+    }
+    wanted = sys.argv[1:] or ["all"]
+    if wanted == ["all"]:
+        print(experiments.run_all())
+        return
+    unknown = [w for w in wanted if w not in runners]
+    if unknown:
+        sys.exit(f"unknown experiments {unknown}; known: {sorted(runners)}")
+    for name in wanted:
+        print(runners[name]())
+        print()
+
+
+if __name__ == "__main__":
+    main()

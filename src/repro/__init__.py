@@ -1,0 +1,68 @@
+"""HERO-Sign reproduction.
+
+A production-quality Python library reproducing *HERO-Sign: Hierarchical
+Tuning and Efficient Compiler-Time GPU Optimizations for SPHINCS+ Signature
+Generation* (Zhou & Wang, HPCA 2026).
+
+Layers
+------
+``repro.sphincs``
+    A complete functional SPHINCS+ (SHA-256 simple instantiation): real
+    key generation, signing and verification for the 128f/192f/256f (and
+    -s) parameter sets.
+``repro.gpusim``
+    An analytical GPU performance model — device catalog, occupancy, a
+    compiler model with native/PTX SHA-256 branches, exact shared-memory
+    bank-conflict simulation, streams and task graphs.
+``repro.core``
+    HERO-Sign itself: the Tree Tuning search (paper Algorithm 1), FORS
+    Fusion and Relax-FORS, the generalized bank-padding rule, adaptive
+    compile-time branch selection, hybrid memory placement, and the
+    task-graph batch signer — plus the TCAS-SPHINCSp baseline model.
+
+Quickstart
+----------
+>>> import repro
+>>> scheme = repro.Sphincs("128f", deterministic=True)
+>>> keys = scheme.keygen(seed=bytes(48))
+>>> sig = scheme.sign(b"post-quantum", keys)
+>>> scheme.verify(b"post-quantum", sig, keys.public)
+True
+"""
+
+from .params import PARAMETER_SETS, FAST_SETS, SMALL_SETS, SphincsParams, get_params
+from .sphincs import Sphincs, KeyPair, SigningArtifacts
+from .errors import (
+    ReproError,
+    ParameterError,
+    AddressError,
+    SignatureFormatError,
+    GpuModelError,
+    LaunchConfigError,
+    SharedMemoryError,
+    TuningError,
+    GraphError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PARAMETER_SETS",
+    "FAST_SETS",
+    "SMALL_SETS",
+    "SphincsParams",
+    "get_params",
+    "Sphincs",
+    "KeyPair",
+    "SigningArtifacts",
+    "ReproError",
+    "ParameterError",
+    "AddressError",
+    "SignatureFormatError",
+    "GpuModelError",
+    "LaunchConfigError",
+    "SharedMemoryError",
+    "TuningError",
+    "GraphError",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+sign / verify
+    Exercise the functional SPHINCS+ layer on real files.
+tune
+    Run the Tree Tuning search for a parameter set and device.
+model
+    Model baseline vs HERO-Sign throughput for a device.
+report
+    Regenerate the paper-vs-model tables (see examples/reproduce_paper.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_sign(args: argparse.Namespace) -> int:
+    from .sphincs.signer import Sphincs
+
+    scheme = Sphincs(args.params, deterministic=args.deterministic)
+    seed = bytes(3 * scheme.params.n) if args.deterministic else None
+    keys = scheme.keygen(seed=seed)
+    message = open(args.file, "rb").read() if args.file else args.message.encode()
+    signature = scheme.sign(message, keys)
+    print(f"parameter set : {scheme.params.name}")
+    print(f"message bytes : {len(message)}")
+    print(f"signature     : {len(signature)} bytes")
+    print(f"public key    : {keys.public.hex()}")
+    print(f"self-verify   : {scheme.verify(message, signature, keys.public)}")
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(signature)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core.fusion import plan_fors
+    from .gpusim.device import get_device
+    from .params import get_params
+
+    device = get_device(args.device)
+    params = get_params(args.params)
+    plan = plan_fors(
+        params, device.shared_mem_per_block_static,
+        hard_limit=device.shared_mem_per_block_optin,
+    )
+    print(f"{params.name} on {device.name} ({device.architecture})")
+    print(f"  threads/block : {plan.threads_per_block}")
+    print(f"  trees per set : {plan.n_tree}")
+    print(f"  fusion F      : {plan.fusion_f}")
+    print(f"  relax-FORS    : {plan.relax}")
+    print(f"  shared memory : {plan.smem_per_block} B (padded)")
+    print(f"  barriers      : {plan.sync_points}")
+    if plan.tuning:
+        print("  near-optimal candidates:")
+        for cand in plan.tuning.top(5):
+            print(f"    (T_set={cand.t_set}, F={cand.f}) "
+                  f"sync={cand.sync_points} U_T={cand.u_t:.3f} "
+                  f"U_S={cand.u_s:.3f}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .core.batch import MODES, run_batch
+    from .gpusim.device import get_device
+    from .params import get_params
+
+    device = get_device(args.device)
+    params = get_params(args.params)
+    print(f"{params.name} on modeled {device.name}, "
+          f"{args.messages} messages:")
+    for mode in MODES:
+        result = run_batch(params, device, mode, messages=args.messages,
+                           batches=args.batches)
+        print(f"  {mode:15s} {result.kops:8.2f} KOPS   "
+              f"launch {result.launch_latency_us:7.1f} us")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import experiments
+
+    print(experiments.run_all(args.device))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sign = sub.add_parser("sign", help="sign a message/file (functional layer)")
+    p_sign.add_argument("--params", default="128f")
+    p_sign.add_argument("--message", default="hello post-quantum world")
+    p_sign.add_argument("--file", default=None)
+    p_sign.add_argument("--out", default=None)
+    p_sign.add_argument("--deterministic", action="store_true")
+    p_sign.set_defaults(func=_cmd_sign)
+
+    p_tune = sub.add_parser("tune", help="run the Tree Tuning search")
+    p_tune.add_argument("--params", default="128f")
+    p_tune.add_argument("--device", default="RTX 4090")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_model = sub.add_parser("model", help="model throughput on a device")
+    p_model.add_argument("--params", default="128f")
+    p_model.add_argument("--device", default="RTX 4090")
+    p_model.add_argument("--messages", type=int, default=1024)
+    p_model.add_argument("--batches", type=int, default=8)
+    p_model.set_defaults(func=_cmd_model)
+
+    p_report = sub.add_parser("report", help="paper-vs-model report")
+    p_report.add_argument("--device", default="RTX 4090")
+    p_report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Programmatic experiment driver: regenerate every paper table/figure.
+
+This is the library-level entry point behind the benchmark suite and the
+``examples/reproduce_paper.py`` script: each ``run_*`` function returns the
+rendered text table (paper vs model) for one experiment, and
+:func:`run_all` produces the complete report.
+"""
+
+from __future__ import annotations
+
+from ..core.baseline import baseline_plans
+from ..core.batch import MODES, end_to_end_kops
+from ..core.branch_select import select_branches
+from ..core.kernels import OptimizationFlags, build_plans
+from ..core.pipeline import kernel_comparison, kernel_report, optimization_ladder
+from ..core.tree_tuning import tree_tuning_search
+from ..cpu.avx2 import Avx2Model
+from ..gpusim.compile_time import CompileTimeModel
+from ..gpusim.compiler import Branch
+from ..gpusim.device import DeviceSpec, get_device
+from ..gpusim.engine import TimingEngine
+from ..params import FAST_SETS, get_params
+from .reference_data import PAPER
+from .reporting import format_table
+
+__all__ = [
+    "run_table2",
+    "run_table4",
+    "run_table5",
+    "run_table8",
+    "run_table10",
+    "run_table11",
+    "run_fig11",
+    "run_fig12",
+    "run_all",
+]
+
+_ALIASES = ("128f", "192f", "256f")
+_KERNELS = ("FORS_Sign", "TREE_Sign", "WOTS_Sign")
+
+
+def _setup(device: DeviceSpec | str | None):
+    dev = get_device(device) if isinstance(device, str) else (
+        device or get_device("RTX 4090"))
+    return dev, TimingEngine()
+
+
+def run_table2(device: DeviceSpec | str | None = None) -> str:
+    """Baseline time breakdown (paper Table II)."""
+    dev, engine = _setup(device)
+    rows = []
+    for alias in _ALIASES:
+        plans = baseline_plans(get_params(alias), dev)
+        paper = PAPER["table2_breakdown_ms"][alias]
+        for kernel, label in (("FORS_Sign", "FORS"), ("TREE_Sign", "MSS"),
+                              ("WOTS_Sign", "WOTS")):
+            ms = kernel_report(plans[kernel], engine).time_ms
+            rows.append([alias, label, paper[label], round(ms, 2)])
+    return format_table(
+        ["set", "component", "paper ms", "model ms"], rows,
+        title="Table II — baseline time breakdown",
+    )
+
+
+def run_table4() -> str:
+    """Tree Tuning results (paper Table IV)."""
+    rows = []
+    for alias in ("128f", "192f"):
+        best = tree_tuning_search(get_params(alias), 48 * 1024).best
+        paper = PAPER["table4_tuning"][alias]
+        rows.append([alias, paper["F"], best.f, paper["smem_util"],
+                     round(best.u_s, 4), paper["thread_util"],
+                     round(best.u_t, 4)])
+    return format_table(
+        ["set", "F (paper)", "F (model)", "smem util (paper)",
+         "smem util (model)", "thread util (paper)", "thread util (model)"],
+        rows, title="Table IV — Tree Tuning search results",
+    )
+
+
+def run_table5(device: DeviceSpec | str | None = None) -> str:
+    """PTX branch selection (paper Table V)."""
+    dev, engine = _setup(device)
+    natives = {k: Branch.NATIVE for k in _KERNELS}
+    rows = []
+    for alias in _ALIASES:
+        plans = build_plans(get_params(alias), dev, OptimizationFlags.full(),
+                            branches=natives)
+        choices = select_branches(plans, engine)
+        paper = PAPER["table5_ptx_selection"][alias]
+        for kernel in _KERNELS:
+            rows.append([
+                alias, kernel,
+                "PTX" if paper[kernel] else "native",
+                "PTX" if choices[kernel].ptx_selected else "native",
+            ])
+    return format_table(
+        ["set", "kernel", "paper", "model"], rows,
+        title="Table V — PTX branch selection",
+    )
+
+
+def run_table8(device: DeviceSpec | str | None = None) -> str:
+    """Kernel comparison (paper Table VIII)."""
+    dev, engine = _setup(device)
+    rows = []
+    for alias in _ALIASES:
+        cmp = kernel_comparison(get_params(alias), dev, engine)
+        for kernel, (base, hero) in cmp.items():
+            paper = PAPER["table8_kernels"][alias][kernel]["kops"]
+            rows.append([
+                alias, kernel, paper[0], round(base.kops, 1), paper[1],
+                round(hero.kops, 1),
+                f"{paper[1] / paper[0]:.2f}x",
+                f"{hero.kops / base.kops:.2f}x",
+            ])
+    return format_table(
+        ["set", "kernel", "base KOPS (paper)", "base KOPS (model)",
+         "hero KOPS (paper)", "hero KOPS (model)", "speedup (paper)",
+         "speedup (model)"],
+        rows, title="Table VIII — kernel performance comparison",
+    )
+
+
+def run_table10() -> str:
+    """AVX2 CPU comparison (paper Table X)."""
+    model = Avx2Model()
+    rows = []
+    for alias in _ALIASES:
+        p = get_params(alias)
+        rows.append([
+            alias,
+            PAPER["table10_avx2"]["single"][alias], round(model.kops(p), 4),
+            PAPER["table10_avx2"]["threads16"][alias],
+            round(model.kops(p, 16), 4),
+        ])
+    return format_table(
+        ["set", "1T (paper)", "1T (model)", "16T (paper)", "16T (model)"],
+        rows, title="Table X — AVX2 CPU throughput (KOPS)",
+    )
+
+
+def run_table11() -> str:
+    """Compilation time (paper Table XI)."""
+    model = CompileTimeModel()
+    selections = {
+        "128f": {"FORS_Sign": Branch.PTX},
+        "192f": {"FORS_Sign": Branch.PTX},
+        "256f": {k: Branch.PTX for k in _KERNELS},
+    }
+    rows = []
+    for alias in _ALIASES:
+        report = model.report(get_params(alias), selections[alias])
+        paper = PAPER["table11_compile_s"][alias]
+        rows.append([alias, paper["baseline"], round(report.baseline_s, 2),
+                     paper["herosign"], round(report.herosign_s, 2)])
+    return format_table(
+        ["set", "baseline s (paper)", "baseline s (model)",
+         "HERO s (paper)", "HERO s (model)"],
+        rows, title="Table XI — average compilation time",
+    )
+
+
+def run_fig11(device: DeviceSpec | str | None = None) -> str:
+    """FORS_Sign optimization ladder (paper Figure 11)."""
+    dev, engine = _setup(device)
+    rows = []
+    for alias in _ALIASES:
+        paper = PAPER["fig11_fors_steps_kops"][alias]
+        for step in optimization_ladder(get_params(alias), dev, engine=engine):
+            rows.append([alias, step.name, paper[step.name],
+                         round(step.kops, 1),
+                         f"{step.cumulative_speedup:.2f}x"])
+    return format_table(
+        ["set", "step", "KOPS (paper)", "KOPS (model)", "cumulative (model)"],
+        rows, title="Figure 11 — FORS_Sign optimization steps",
+    )
+
+
+def run_fig12(device: DeviceSpec | str | None = None) -> str:
+    """End-to-end strategies (paper Figure 12)."""
+    dev, engine = _setup(device)
+    rows = []
+    for alias in _ALIASES:
+        results = end_to_end_kops(get_params(alias), dev, engine=engine)
+        paper = PAPER["fig12_e2e_kops"][alias]
+        for mode in MODES:
+            rows.append([alias, mode, paper[mode],
+                         round(results[mode].kops, 2),
+                         round(results[mode].launch_latency_us, 1)])
+    return format_table(
+        ["set", "mode", "KOPS (paper)", "KOPS (model)", "launch us (model)"],
+        rows, title="Figure 12 — end-to-end performance",
+    )
+
+
+def run_all(device: DeviceSpec | str | None = None) -> str:
+    """The full paper-vs-model report."""
+    sections = [
+        run_table2(device), run_table4(), run_table5(device),
+        run_table8(device), run_table10(), run_table11(),
+        run_fig11(device), run_fig12(device),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,130 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+Every benchmark prints its measured (model) values next to these, and
+EXPERIMENTS.md records the comparison.  Keys use the short parameter-set
+aliases (``"128f"`` etc.) and the kernel names ``FORS_Sign`` /
+``TREE_Sign`` / ``WOTS_Sign``.
+"""
+
+from __future__ import annotations
+
+PAPER: dict = {
+    # Table II — TCAS-SPHINCSp time breakdown on RTX 4090 (ms).
+    "table2_breakdown_ms": {
+        "128f": {"FORS": 1.89, "idle": 2.27, "MSS": 6.57, "WOTS": 0.93},
+        "192f": {"FORS": 7.75, "idle": 2.31, "MSS": 10.06, "WOTS": 1.33},
+        "256f": {"FORS": 13.25, "idle": 2.29, "MSS": 26.55, "WOTS": 1.47},
+    },
+    # Table III — baseline kernel profile, 128f on RTX 4090.
+    "table3_occupancy_128f": {
+        "FORS_Sign": {"warp_occ": 17.0, "theoretical_occ": 66.67, "regs": 64},
+        "TREE_Sign": {"warp_occ": 25.0, "theoretical_occ": 25.0, "regs": 128},
+        "WOTS_Sign": {"warp_occ": 46.0, "theoretical_occ": 52.08, "regs": 72},
+    },
+    # Table IV — Tree Tuning search results on RTX 4090 (static smem).
+    "table4_tuning": {
+        "128f": {"smem_util": 0.6875, "thread_util": 0.6875, "F": 3},
+        "192f": {"smem_util": 0.75, "thread_util": 0.75, "F": 2},
+    },
+    # Table V — PTX branch selection (True = PTX outperformed native).
+    "table5_ptx_selection": {
+        "128f": {"FORS_Sign": True, "TREE_Sign": False, "WOTS_Sign": False},
+        "192f": {"FORS_Sign": True, "TREE_Sign": False, "WOTS_Sign": False},
+        "256f": {"FORS_Sign": True, "TREE_Sign": True, "WOTS_Sign": True},
+    },
+    # Table VI — bank conflicts during reduction (block = 1), Nsight.
+    "table6_bank_conflicts": {
+        "128f": {"FORS_Sign": {"baseline": (22_099_968, 12_435_456), "padded": (0, 0)},
+                 "TREE_Sign": {"baseline": (1_568, 704), "padded": (1, 0)}},
+        "192f": {"FORS_Sign": {"baseline": (64_152, 30_096), "padded": (0, 0)},
+                 "TREE_Sign": {"baseline": (1_203, 408), "padded": (1, 0)}},
+        "256f": {"FORS_Sign": {"baseline": (400_960, 192_640), "padded": (0, 0)},
+                 "TREE_Sign": {"baseline": (11_905, 5_377), "padded": (0, 0)}},
+    },
+    # Table VIII — kernel comparison (block = 1024) on RTX 4090.
+    # (KOPS baseline, KOPS hero, occupancy baseline %, occupancy hero %)
+    "table8_kernels": {
+        "128f": {
+            "FORS_Sign": {"kops": (442.9, 946.3), "occ": (27.09, 36.02),
+                          "compute": (45.18, 56.37), "memory": (11.26, 9.83)},
+            "TREE_Sign": {"kops": (125.2, 157.7), "occ": (23.65, 23.88),
+                          "compute": (92.87, 97.67), "memory": (2.47, 1.88)},
+            "WOTS_Sign": {"kops": (2493.1, 4915.7), "occ": (42.36, 46.54),
+                          "compute": (43.63, 34.55), "memory": (73.70, 69.94)},
+        },
+        "192f": {
+            "FORS_Sign": {"kops": (128.9, 222.0), "occ": (32.74, 47.05),
+                          "compute": (44.69, 54.48), "memory": (10.21, 8.26)},
+            "TREE_Sign": {"kops": (88.2, 93.6), "occ": (23.83, 23.87),
+                          "compute": (95.57, 97.76), "memory": (4.73, 2.54)},
+            "WOTS_Sign": {"kops": (1457.6, 2464.9), "occ": (31.44, 35.09),
+                          "compute": (24.50, 22.37), "memory": (82.49, 84.23)},
+        },
+        "256f": {
+            "FORS_Sign": {"kops": (66.6, 116.4), "occ": (32.60, 63.76),
+                          "compute": (42.42, 66.37), "memory": (20.71, 13.55)},
+            "TREE_Sign": {"kops": (36.4, 44.9), "occ": (18.53, 62.43),
+                          "compute": (72.38, 96.17), "memory": (5.46, 10.42)},
+            "WOTS_Sign": {"kops": (776.8, 1570.9), "occ": (35.37, 35.47),
+                          "compute": (11.93, 12.77), "memory": (88.19, 86.80)},
+        },
+    },
+    # Table IX — cross-platform throughput (KOPS) and power-per-signature.
+    "table9_cross_platform": {
+        "herosign_rtx4090_kops": {"128f": 119.47, "192f": 65.43, "256f": 33.88},
+        "herosign_pps_watt": {"128f": 0.003, "192f": 0.002, "256f": 0.003},
+        "berthet_fpga_kops": {"128f": 0.016, "256f": 0.00057},
+        "berthet_fpga_pps": {"128f": 0.4, "256f": 0.474},
+        "amiet_fpga_kops": {"128f": 0.99, "192f": 0.85, "256f": 0.40},
+        "amiet_fpga_pps": {"128f": 9.76, "192f": 9.69, "256f": 9.80},
+        "sphincslet_asic_kops": {"128f": 0.52, "192f": 0.20, "256f": 0.10},
+    },
+    # Table X — AVX2 CPU throughput (KOPS).
+    "table10_avx2": {
+        "single": {"128f": 0.143, "192f": 0.087, "256f": 0.044},
+        "threads16": {"128f": 0.828, "192f": 0.560, "256f": 0.356},
+    },
+    # Table XI — average compilation time (s), block sizes 2..1024.
+    "table11_compile_s": {
+        "128f": {"baseline": 18.68, "herosign": 14.61},
+        "192f": {"baseline": 23.25, "herosign": 21.72},
+        "256f": {"baseline": 24.19, "herosign": 19.18},
+    },
+    # Figure 11 — FORS_Sign optimization steps (KOPS), RTX 4090.
+    "fig11_fors_steps_kops": {
+        "128f": {"Baseline": 442.9, "MMTP": 702.7, "+FS": 721.8,
+                 "+PTX": 752.0, "+HybridME": 915.9, "+FreeBank": 946.3},
+        "192f": {"Baseline": 128.9, "MMTP": 174.1, "+FS": 178.6,
+                 "+PTX": 206.4, "+HybridME": 219.1, "+FreeBank": 222.0},
+        "256f": {"Baseline": 66.6, "MMTP": 73.5, "+FS": 91.9,
+                 "+PTX": 97.8, "+HybridME": 106.7, "+FreeBank": 116.4},
+    },
+    # Figure 12 — end-to-end performance (KOPS) and launch latency (us).
+    "fig12_e2e_kops": {
+        "128f": {"baseline": 93.17, "baseline-graph": 97.54,
+                 "streams": 116.48, "graph": 119.47},
+        "192f": {"baseline": 51.18, "baseline-graph": 56.50,
+                 "streams": 60.94, "graph": 65.43},
+        "256f": {"baseline": 23.93, "baseline-graph": 25.74,
+                 "streams": 31.28, "graph": 33.88},
+    },
+    "fig12_launch_latency_us": {
+        "128f": {"baseline": 4270.0, "streams": 308.06, "graph": 49.41},
+        "192f": {"baseline": 4439.0, "streams": 2722.75, "graph": 42.97},
+        "256f": {"baseline": 7102.0, "streams": 5025.00, "graph": 32.10},
+    },
+    # Figure 13 — speedup range over block sizes 2..1024 (graph mode).
+    "fig13_speedup_range": {
+        "128f": (3.10, 1.28), "192f": (2.92, 1.28), "256f": (2.60, 1.42),
+    },
+    # Figure 14 — cross-architecture speedups (HERO-Sign with graph).
+    "fig14_speedups": {
+        "Pascal": {"128f": 1.17, "192f": 1.15, "256f": 1.34},
+        "Volta": {"128f": 1.18, "192f": 1.20, "256f": 1.43},
+        "Turing": {"128f": 1.24, "192f": 1.28, "256f": 1.33},
+        "Ampere": {"128f": 1.42, "192f": 1.16, "256f": 1.31},
+        "Hopper": {"128f": 1.41, "192f": 1.17, "256f": 1.88},
+    },
+    # §IV-E.3 — input-size sensitivity average speedups.
+    "input_size_avg_speedup": {"128f": 1.30, "192f": 1.28, "256f": 1.45},
+}

@@ -1,0 +1,63 @@
+"""HERO-Sign: the paper's contribution, built on the functional SPHINCS+
+layer and the GPU model.
+
+* :mod:`~repro.core.tree_tuning` — the offline Auto Tree Tuning search
+  (paper Algorithm 1).
+* :mod:`~repro.core.fusion` — FORS Fusion planning, including the
+  Relax-FORS model for 256f.
+* :mod:`~repro.core.padding` — the generalized bank-padding rule
+  (paper Equations 2 and 3) for 16/24/32-byte accesses.
+* :mod:`~repro.core.hybrid_memory` — memory placement plans (global /
+  shared / hybrid-with-constant) and their per-hash cost profiles.
+* :mod:`~repro.core.kernels` — workload builders deriving the three
+  kernels' block workloads from the SPHINCS+ geometry.
+* :mod:`~repro.core.branch_select` — profiling-driven PTX/native selection
+  (paper Table V).
+* :mod:`~repro.core.baseline` — the TCAS-SPHINCSp baseline model.
+* :mod:`~repro.core.pipeline` — the optimization ladder (paper Fig. 11)
+  and per-kernel throughput (paper Table VIII).
+* :mod:`~repro.core.batch` — multi-batch signing on streams vs task graphs
+  (paper Fig. 12) and the end-to-end signer.
+"""
+
+from .tree_tuning import TuningCandidate, TuningResult, tree_tuning_search
+from .fusion import ForsPlan, plan_fors
+from .padding import PaddingRule, padding_rule
+from .hybrid_memory import MemoryPlan, MEMORY_PLANS
+from .kernels import OptimizationFlags, KernelPlan, build_plans
+from .branch_select import BranchChoice, select_branches
+from .baseline import baseline_plans
+from .pipeline import (
+    KernelReport,
+    StepResult,
+    kernel_report,
+    kernel_comparison,
+    optimization_ladder,
+)
+from .batch import BatchResult, run_batch, end_to_end_kops
+
+__all__ = [
+    "TuningCandidate",
+    "TuningResult",
+    "tree_tuning_search",
+    "ForsPlan",
+    "plan_fors",
+    "PaddingRule",
+    "padding_rule",
+    "MemoryPlan",
+    "MEMORY_PLANS",
+    "OptimizationFlags",
+    "KernelPlan",
+    "build_plans",
+    "BranchChoice",
+    "select_branches",
+    "baseline_plans",
+    "KernelReport",
+    "StepResult",
+    "kernel_report",
+    "kernel_comparison",
+    "optimization_ladder",
+    "BatchResult",
+    "run_batch",
+    "end_to_end_kops",
+]

@@ -1,0 +1,106 @@
+"""Memory placement plans and their per-hash cost profiles.
+
+HERO-Sign's hybrid allocation (paper §III-D) moves data between three
+tiers: frequently-read seeds and initial state into **constant memory**
+(broadcast, near-SRAM latency), tree nodes into **shared memory**, and
+infrequently-touched read-only data into **global memory** with vectorized
+``ldg.128``/``ldg.64`` access.  The TCAS-SPHINCSp baseline keeps tree
+nodes and seeds in global memory.
+
+Each plan carries a per-hash *overhead instruction* count — the address
+math, data movement and memory wrapper instructions around the SHA-256
+core.  These are the calibrated quantities of DESIGN.md: the baseline
+value reflects unoptimized division/modulo address math and global-memory
+node traffic; the shared plan removes the off-chip node round-trips; the
+hybrid plan removes the per-hash seed loads (constant broadcast) and
+rewrites division/modulo into shifts and masks (paper §IV-D notes exactly
+this rewrite for ``WOTS+_Sign``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GpuModelError
+
+__all__ = ["MemoryPlan", "MEMORY_PLANS", "get_memory_plan"]
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """One placement strategy and its cost profile."""
+
+    name: str
+    nodes_in_shared: bool           # Merkle nodes in shared (vs global) memory
+    seeds_in_constant: bool         # pk/sk seeds + IV in constant memory
+    vectorized_global: bool         # int4/int2 ldg.128/ldg.64 global access
+    overhead_instructions: dict[str, dict[int, float]]   # kernel -> n -> per hash
+    node_global_traffic: bool       # reduction traffic goes off-chip
+
+    def overhead_for(self, kernel: str, n: int = 16) -> float:
+        try:
+            return self.overhead_instructions[kernel][n]
+        except KeyError:
+            raise GpuModelError(
+                f"memory plan {self.name!r} has no overhead entry for "
+                f"kernel {kernel!r} at n={n}"
+            ) from None
+
+
+# Calibrated per-hash overhead instructions (see DESIGN.md "Calibration").
+# FORS_Sign is the most wrapper-heavy kernel (per-leaf PRF addressing and
+# node store/load per level); TREE_Sign's chains are tight register loops;
+# WOTS_Sign's baseline pays division/modulo per base-w digit.  The FORS
+# baseline penalty shrinks with the security level: its global node traffic
+# is amortized over wider hashes (larger n per access, same address math).
+_BASELINE_OVERHEAD = {
+    "FORS_Sign": {16: 3800.0, 24: 2600.0, 32: 2000.0},
+    "TREE_Sign": {16: 900.0, 24: 900.0, 32: 900.0},
+    "WOTS_Sign": {16: 3000.0, 24: 3000.0, 32: 3000.0},
+}
+_SHARED_OVERHEAD = {
+    "FORS_Sign": {16: 2100.0, 24: 1800.0, 32: 1700.0},
+    "TREE_Sign": {16: 850.0, 24: 850.0, 32: 850.0},
+    "WOTS_Sign": {16: 2600.0, 24: 2600.0, 32: 2600.0},
+}
+_HYBRID_OVERHEAD = {
+    "FORS_Sign": {16: 1450.0, 24: 1450.0, 32: 1450.0},
+    "TREE_Sign": {16: 700.0, 24: 700.0, 32: 700.0},
+    "WOTS_Sign": {16: 800.0, 24: 800.0, 32: 800.0},
+}
+
+MEMORY_PLANS: dict[str, MemoryPlan] = {
+    "global": MemoryPlan(
+        name="global",
+        nodes_in_shared=False,
+        seeds_in_constant=False,
+        vectorized_global=False,
+        overhead_instructions=_BASELINE_OVERHEAD,
+        node_global_traffic=True,
+    ),
+    "shared": MemoryPlan(
+        name="shared",
+        nodes_in_shared=True,
+        seeds_in_constant=False,
+        vectorized_global=False,
+        overhead_instructions=_SHARED_OVERHEAD,
+        node_global_traffic=False,
+    ),
+    "hybrid": MemoryPlan(
+        name="hybrid",
+        nodes_in_shared=True,
+        seeds_in_constant=True,
+        vectorized_global=True,
+        overhead_instructions=_HYBRID_OVERHEAD,
+        node_global_traffic=False,
+    ),
+}
+
+
+def get_memory_plan(name: str) -> MemoryPlan:
+    try:
+        return MEMORY_PLANS[name]
+    except KeyError:
+        raise GpuModelError(
+            f"unknown memory plan {name!r}; known: {sorted(MEMORY_PLANS)}"
+        ) from None

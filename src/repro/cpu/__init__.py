@@ -1,0 +1,5 @@
+"""CPU comparators (paper Table X)."""
+
+from .avx2 import Avx2Model
+
+__all__ = ["Avx2Model"]

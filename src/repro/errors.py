@@ -1,0 +1,45 @@
+"""Exception hierarchy for the HERO-Sign reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base type.  Cryptographic verification failures deliberately do
+*not* raise — verification APIs return ``bool`` — these exceptions signal
+programming or configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An invalid or unknown SPHINCS+ parameter set or parameter value."""
+
+
+class AddressError(ReproError, ValueError):
+    """A hash address (ADRS) field was set outside its legal range."""
+
+
+class SignatureFormatError(ReproError, ValueError):
+    """A serialized signature or key has the wrong length or structure."""
+
+
+class GpuModelError(ReproError):
+    """Base class for GPU-simulator configuration/usage errors."""
+
+
+class LaunchConfigError(GpuModelError, ValueError):
+    """A kernel launch configuration violates device limits."""
+
+
+class SharedMemoryError(GpuModelError, ValueError):
+    """A shared-memory layout or access is invalid (size, alignment)."""
+
+
+class TuningError(ReproError):
+    """The Tree Tuning search could not produce a feasible configuration."""
+
+
+class GraphError(GpuModelError):
+    """Invalid task-graph construction (cycles, unknown node, reuse)."""

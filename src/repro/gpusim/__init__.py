@@ -1,0 +1,68 @@
+"""An analytical NVIDIA-GPU performance model ("gpusim").
+
+This package is the hardware substrate of the reproduction.  It is *not*
+cycle-accurate; it is a mechanistic model of exactly the quantities the
+paper's optimizations act through:
+
+* :mod:`~repro.gpusim.device` — the device catalog (paper Table VII):
+  SM counts, register files, shared-memory capacities, clocks.
+* :mod:`~repro.gpusim.occupancy` — the CUDA occupancy rules, including the
+  paper's Equation 1.
+* :mod:`~repro.gpusim.instructions`/:mod:`~repro.gpusim.compiler` — a
+  compiler model that lowers the measured SHA-256 operation profile
+  (:func:`repro.hashes.count_compression_ops`) into native or PTX
+  instruction mixes (``prmt`` vs shift byte-swaps, retained ``mad``), with
+  per-kernel register allocation.
+* :mod:`~repro.gpusim.memory` — a 32-bank shared-memory model that counts
+  bank conflicts *exactly* by replaying access patterns.
+* :mod:`~repro.gpusim.engine` — the timing engine (waves, latency hiding,
+  sync and memory stall accounting).
+* :mod:`~repro.gpusim.stream`/:mod:`~repro.gpusim.graph` — launch-overhead
+  accounting for plain streams versus CUDA-Graph-style task graphs.
+* :mod:`~repro.gpusim.profiler` — Nsight-like per-kernel metric reports.
+
+Calibration constants live in :mod:`~repro.gpusim.calibration` and are
+documented in DESIGN.md.
+"""
+
+from .device import DeviceSpec, DEVICES, get_device
+from .instructions import InstructionMix, InstructionTimings
+from .compiler import CompiledKernel, CompilerModel, Branch
+from .occupancy import OccupancyResult, occupancy, paper_occupancy_eq1
+from .memory import SharedMemoryBankModel, AccessPattern, ConflictReport
+from .kernel import KernelWorkload, WorkloadPhase, LaunchConfig
+from .engine import TimingEngine, KernelTiming
+from .stream import Stream, Timeline, LaunchRecord
+from .graph import TaskGraph, GraphExec
+from .profiler import KernelProfile, profile_launch
+from .compile_time import CompileTimeModel
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "get_device",
+    "InstructionMix",
+    "InstructionTimings",
+    "CompiledKernel",
+    "CompilerModel",
+    "Branch",
+    "OccupancyResult",
+    "occupancy",
+    "paper_occupancy_eq1",
+    "SharedMemoryBankModel",
+    "AccessPattern",
+    "ConflictReport",
+    "KernelWorkload",
+    "WorkloadPhase",
+    "LaunchConfig",
+    "TimingEngine",
+    "KernelTiming",
+    "Stream",
+    "Timeline",
+    "LaunchRecord",
+    "TaskGraph",
+    "GraphExec",
+    "KernelProfile",
+    "profile_launch",
+    "CompileTimeModel",
+]

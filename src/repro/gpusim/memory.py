@@ -1,0 +1,324 @@
+"""Shared-memory bank model with exact conflict counting.
+
+NVIDIA shared memory is organized as 32 four-byte banks; a warp access is
+processed in *wavefronts*, and whenever two threads in the same wavefront
+touch **different 32-bit words that live in the same bank**, the wavefront
+replays — a bank conflict.  (Threads reading the *same* word broadcast and
+do not conflict.)
+
+This module replays real access traces against that rule:
+
+* :class:`SharedMemoryBankModel` applies the documented per-phase rule: an
+  N-byte per-thread access executes as N/4 word phases; in each phase every
+  thread presents one word address, and the wavefront count is the maximum
+  number of distinct words mapped to any single bank.
+* :class:`Layout` positions n-byte tree nodes in shared memory with an
+  optional padding rule (a 4-byte pad bank inserted after every
+  ``pad_period`` data bytes — the paper's Equations 2/3 choose that
+  period).
+* :func:`reduction_trace` generates the exact load/store pattern of the
+  bottom-up Merkle reduction of paper Figure 7, which
+  :func:`count_reduction_conflicts` replays level by level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import SharedMemoryError
+
+__all__ = [
+    "AccessPattern",
+    "ConflictReport",
+    "SharedMemoryBankModel",
+    "Layout",
+    "reduction_trace",
+    "count_reduction_conflicts",
+    "multi_tree_reduction_trace",
+    "count_multi_tree_conflicts",
+]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One warp-level access: per-thread (byte_address, width_bytes).
+
+    ``accesses`` maps lane -> (address, width); lanes absent from the dict
+    are inactive (predicated off).
+    """
+
+    accesses: dict[int, tuple[int, int]]
+    kind: str = "load"  # "load" or "store"
+
+    def __post_init__(self) -> None:
+        for lane, (addr, width) in self.accesses.items():
+            if not 0 <= lane < 32:
+                raise SharedMemoryError(f"lane {lane} outside the warp")
+            if width % 4 or width <= 0:
+                raise SharedMemoryError(
+                    f"access width {width} must be a positive multiple of 4"
+                )
+            if addr % 4:
+                raise SharedMemoryError(f"address {addr:#x} is not word-aligned")
+
+
+@dataclass
+class ConflictReport:
+    """Aggregated wavefront statistics over a trace."""
+
+    load_wavefronts: int = 0
+    load_ideal: int = 0
+    store_wavefronts: int = 0
+    store_ideal: int = 0
+
+    @property
+    def load_conflicts(self) -> int:
+        return self.load_wavefronts - self.load_ideal
+
+    @property
+    def store_conflicts(self) -> int:
+        return self.store_wavefronts - self.store_ideal
+
+    @property
+    def total_conflicts(self) -> int:
+        return self.load_conflicts + self.store_conflicts
+
+    def merge(self, other: "ConflictReport") -> "ConflictReport":
+        return ConflictReport(
+            self.load_wavefronts + other.load_wavefronts,
+            self.load_ideal + other.load_ideal,
+            self.store_wavefronts + other.store_wavefronts,
+            self.store_ideal + other.store_ideal,
+        )
+
+
+class SharedMemoryBankModel:
+    """The 32-bank wavefront-replay rule."""
+
+    def __init__(self, banks: int = 32, bank_width: int = 4):
+        if banks <= 0 or bank_width != 4:
+            raise SharedMemoryError(
+                f"unsupported bank geometry ({banks} banks x {bank_width} B)"
+            )
+        self.banks = banks
+        self.bank_width = bank_width
+
+    # ------------------------------------------------------------------
+    def warp_wavefronts(self, pattern: AccessPattern) -> tuple[int, int]:
+        """(actual, ideal) wavefronts for one warp access.
+
+        Ideal is the phase count (width / 4): the wavefronts a conflict-free
+        access of the same width would need.
+        """
+        if not pattern.accesses:
+            return 0, 0
+        phases = max(width for _, width in pattern.accesses.values()) // 4
+        actual = 0
+        for phase in range(phases):
+            words_per_bank: dict[int, set[int]] = {}
+            for addr, width in pattern.accesses.values():
+                if phase * 4 >= width:
+                    continue
+                word = (addr + phase * 4) // self.bank_width
+                bank = word % self.banks
+                words_per_bank.setdefault(bank, set()).add(word)
+            if words_per_bank:
+                actual += max(len(words) for words in words_per_bank.values())
+        return actual, phases
+
+    def replay(self, trace: Iterable[AccessPattern]) -> ConflictReport:
+        """Replay a trace of warp accesses and aggregate conflicts."""
+        report = ConflictReport()
+        for pattern in trace:
+            actual, ideal = self.warp_wavefronts(pattern)
+            if pattern.kind == "store":
+                report.store_wavefronts += actual
+                report.store_ideal += ideal
+            else:
+                report.load_wavefronts += actual
+                report.load_ideal += ideal
+        return report
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Placement of n-byte nodes in a shared-memory region.
+
+    ``pad_period`` of 0 means a packed layout.  Otherwise one 4-byte pad
+    bank is skipped after every ``pad_period`` bytes of *data*, shifting
+    subsequent nodes — the generalized padding strategy of paper §III-E.
+    """
+
+    node_bytes: int
+    pad_period: int = 0
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_bytes % 4 or self.node_bytes <= 0:
+            raise SharedMemoryError(
+                f"node size {self.node_bytes} must be a positive multiple of 4"
+            )
+        if self.pad_period % 4 or self.pad_period < 0:
+            raise SharedMemoryError(
+                f"pad period {self.pad_period} must be a non-negative multiple of 4"
+            )
+        if self.base % 4:
+            raise SharedMemoryError(f"base {self.base} is not word-aligned")
+
+    def address(self, node_index: int) -> int:
+        """Byte address of node *node_index* under this layout."""
+        raw = node_index * self.node_bytes
+        if self.pad_period:
+            raw += 4 * (raw // self.pad_period)
+        return self.base + raw
+
+    def footprint(self, node_count: int) -> int:
+        """Bytes of shared memory consumed by *node_count* nodes."""
+        if node_count == 0:
+            return 0
+        last = self.address(node_count - 1) - self.base
+        return last + self.node_bytes
+
+
+def reduction_trace(
+    leaf_count: int,
+    layout: Layout,
+    parent_layouts: Sequence[Layout] | None = None,
+    warp_size: int = 32,
+) -> list[AccessPattern]:
+    """Warp access trace of one bottom-up Merkle reduction.
+
+    Mirrors the kernels' reduction loop (paper Figure 7): at each level,
+    thread ``t`` loads children ``2t`` and ``2t+1`` and stores parent ``t``.
+    Each level's nodes live in their own region (``parent_layouts`` defaults
+    to fresh regions with the same padding rule); only intra-warp conflicts
+    exist, so threads are chunked into warps.
+    """
+    if leaf_count <= 0 or leaf_count & (leaf_count - 1):
+        raise SharedMemoryError(
+            f"reduction needs a power-of-two leaf count, got {leaf_count}"
+        )
+    levels = int(math.log2(leaf_count))
+    n = layout.node_bytes
+    if parent_layouts is None:
+        parent_layouts = [
+            Layout(n, layout.pad_period, base=0) for _ in range(levels)
+        ]
+    elif len(parent_layouts) != levels:
+        raise SharedMemoryError(
+            f"need {levels} parent layouts, got {len(parent_layouts)}"
+        )
+
+    trace: list[AccessPattern] = []
+    child_layout = layout
+    width = leaf_count
+    for level in range(levels):
+        parents = width // 2
+        parent_layout = parent_layouts[level]
+        for warp_base in range(0, parents, warp_size):
+            lanes = range(warp_base, min(warp_base + warp_size, parents))
+            left = {
+                t - warp_base: (child_layout.address(2 * t), n) for t in lanes
+            }
+            right = {
+                t - warp_base: (child_layout.address(2 * t + 1), n) for t in lanes
+            }
+            store = {
+                t - warp_base: (parent_layout.address(t), n) for t in lanes
+            }
+            trace.append(AccessPattern(left, "load"))
+            trace.append(AccessPattern(right, "load"))
+            trace.append(AccessPattern(store, "store"))
+        child_layout = parent_layout
+        width = parents
+    return trace
+
+
+def multi_tree_reduction_trace(
+    trees: int,
+    leaf_count: int,
+    layout: Layout,
+    warp_size: int = 32,
+) -> list[AccessPattern]:
+    """Reduction trace when *trees* small Merkle trees reduce side by side.
+
+    This is ``TREE_Sign``'s pattern: the d hypertree subtrees (8-16 leaves
+    each) share warps, with each level stored tree-major in one contiguous
+    region.  Thread ``t`` owns global parent ``t``; its children live at
+    global indices ``tree * (2 * parents) + 2 * local`` in the level below.
+    Intra-warp conflicts arise *across* trees — invisible to the
+    single-tree trace.
+    """
+    if leaf_count <= 1 or leaf_count & (leaf_count - 1):
+        raise SharedMemoryError(
+            f"reduction needs a power-of-two leaf count > 1, got {leaf_count}"
+        )
+    if trees < 1:
+        raise SharedMemoryError(f"need at least one tree, got {trees}")
+    n = layout.node_bytes
+    trace: list[AccessPattern] = []
+    width = leaf_count
+    while width > 1:
+        parents = width // 2
+        total = trees * parents
+        for warp_base in range(0, total, warp_size):
+            lanes = range(warp_base, min(warp_base + warp_size, total))
+
+            def child_addr(t: int, side: int) -> int:
+                tree, local = divmod(t, parents)
+                return layout.address(tree * width + 2 * local + side)
+
+            left = AccessPattern(
+                {t - warp_base: (child_addr(t, 0), n) for t in lanes}
+            )
+            right = AccessPattern(
+                {t - warp_base: (child_addr(t, 1), n) for t in lanes}
+            )
+            store = AccessPattern(
+                {t - warp_base: (layout.address(t), n) for t in lanes},
+                kind="store",
+            )
+            trace.extend((left, right, store))
+        width = parents
+    return trace
+
+
+def count_multi_tree_conflicts(
+    trees: int,
+    leaf_count: int,
+    node_bytes: int,
+    pad_period: int = 0,
+    repeats: int = 1,
+    model: SharedMemoryBankModel | None = None,
+) -> ConflictReport:
+    """Conflicts of the side-by-side multi-tree reduction."""
+    model = model or SharedMemoryBankModel()
+    layout = Layout(node_bytes, pad_period)
+    single = model.replay(multi_tree_reduction_trace(trees, leaf_count, layout))
+    return ConflictReport(
+        single.load_wavefronts * repeats,
+        single.load_ideal * repeats,
+        single.store_wavefronts * repeats,
+        single.store_ideal * repeats,
+    )
+
+
+def count_reduction_conflicts(
+    leaf_count: int,
+    node_bytes: int,
+    pad_period: int = 0,
+    repeats: int = 1,
+    model: SharedMemoryBankModel | None = None,
+) -> ConflictReport:
+    """Conflicts of *repeats* Merkle reductions under one padding rule."""
+    model = model or SharedMemoryBankModel()
+    layout = Layout(node_bytes, pad_period)
+    single = model.replay(reduction_trace(leaf_count, layout))
+    return ConflictReport(
+        single.load_wavefronts * repeats,
+        single.load_ideal * repeats,
+        single.store_wavefronts * repeats,
+        single.store_ideal * repeats,
+    )

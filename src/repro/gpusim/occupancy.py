@@ -1,0 +1,122 @@
+"""CUDA occupancy rules.
+
+:func:`occupancy` implements the full occupancy calculation (thread, block,
+register and shared-memory limits, with register allocation granularity) —
+what ``cudaOccupancyMaxActiveBlocksPerMultiprocessor`` computes.
+
+:func:`paper_occupancy_eq1` implements the paper's Equation 1 verbatim:
+
+    Occupancy = (1 / W_max) * floor(R_total / (R_thread * T_block))
+                            * (T_block / 32)
+
+which is the register-limit-only view the paper uses when discussing PTX
+register savings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import LaunchConfigError
+from .device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy", "paper_occupancy_eq1"]
+
+# Register file allocation granularity (registers per warp allocation unit).
+_REG_ALLOC_UNIT = 256
+# Shared memory allocation granularity (bytes).
+_SMEM_ALLOC_UNIT = 128
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch configuration."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    active_warps: int
+    max_warps: int
+    limited_by: str
+
+    @property
+    def theoretical(self) -> float:
+        """Theoretical occupancy: active warps / maximum warps per SM."""
+        if self.max_warps == 0:
+            return 0.0
+        return self.active_warps / self.max_warps
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    smem_per_block: int,
+) -> OccupancyResult:
+    """Active blocks/warps per SM for a launch configuration.
+
+    Raises :class:`LaunchConfigError` when the configuration cannot launch
+    at all (block too large, registers or shared memory exceed per-block
+    capacity).
+    """
+    if threads_per_block < 1 or threads_per_block > device.max_threads_per_block:
+        raise LaunchConfigError(
+            f"{threads_per_block} threads/block outside [1, "
+            f"{device.max_threads_per_block}] on {device.name}"
+        )
+    if regs_per_thread < 1 or regs_per_thread > device.max_registers_per_thread:
+        raise LaunchConfigError(
+            f"{regs_per_thread} registers/thread outside [1, "
+            f"{device.max_registers_per_thread}] on {device.name}"
+        )
+    if smem_per_block > device.shared_mem_per_block_optin:
+        raise LaunchConfigError(
+            f"{smem_per_block} B shared memory/block exceeds the "
+            f"{device.shared_mem_per_block_optin} B opt-in limit on {device.name}"
+        )
+
+    warps_per_block = math.ceil(threads_per_block / device.warp_size)
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = device.max_blocks_per_sm
+    limits["threads"] = device.max_warps_per_sm // warps_per_block
+
+    regs_per_warp = _round_up(regs_per_thread * device.warp_size, _REG_ALLOC_UNIT)
+    warps_by_regs = device.registers_per_sm // regs_per_warp
+    limits["registers"] = warps_by_regs // warps_per_block
+
+    if smem_per_block > 0:
+        smem = _round_up(smem_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared_memory"] = device.shared_mem_per_sm // smem
+    else:
+        limits["shared_memory"] = device.max_blocks_per_sm
+
+    limiter = min(limits, key=limits.get)
+    blocks = limits[limiter]
+    if blocks == 0:
+        raise LaunchConfigError(
+            f"launch cannot fit one block per SM on {device.name}: "
+            f"limited by {limiter} "
+            f"(threads/block={threads_per_block}, regs/thread={regs_per_thread}, "
+            f"smem/block={smem_per_block})"
+        )
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_block=warps_per_block,
+        active_warps=blocks * warps_per_block,
+        max_warps=device.max_warps_per_sm,
+        limited_by=limiter,
+    )
+
+
+def paper_occupancy_eq1(
+    device: DeviceSpec, threads_per_block: int, regs_per_thread: int
+) -> float:
+    """The paper's Equation 1 (register-limited occupancy), verbatim."""
+    blocks_by_regs = device.registers_per_sm // (regs_per_thread * threads_per_block)
+    warps_per_block = threads_per_block // device.warp_size
+    return (blocks_by_regs * warps_per_block) / device.max_warps_per_sm
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit

@@ -1,0 +1,70 @@
+"""Nsight-style per-kernel profiles.
+
+Bundles a :class:`~repro.gpusim.engine.KernelTiming` with the compiled
+kernel's static properties into the metric set the paper reports (warp
+occupancy, theoretical occupancy, registers per thread, compute and memory
+throughput) so benchmark tables can print the same columns as Tables III
+and VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .compiler import CompiledKernel
+from .device import DeviceSpec
+from .engine import KernelTiming, TimingEngine
+from .kernel import KernelWorkload, LaunchConfig
+
+__all__ = ["KernelProfile", "profile_launch"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """The Nsight-like metric set for one kernel launch."""
+
+    kernel: str
+    device: DeviceSpec
+    branch: str
+    registers_per_thread: int
+    theoretical_occupancy_pct: float
+    warp_occupancy_pct: float
+    compute_throughput_pct: float
+    memory_throughput_pct: float
+    time_ms: float
+    timing: KernelTiming
+
+    def row(self) -> dict[str, float | str]:
+        """A flat dict suitable for table printing."""
+        return {
+            "kernel": self.kernel,
+            "branch": self.branch,
+            "regs/thread": self.registers_per_thread,
+            "theoretical occupancy %": round(self.theoretical_occupancy_pct, 2),
+            "warp occupancy %": round(self.warp_occupancy_pct, 2),
+            "compute throughput %": round(self.compute_throughput_pct, 2),
+            "memory throughput %": round(self.memory_throughput_pct, 2),
+            "time ms": round(self.time_ms, 4),
+        }
+
+
+def profile_launch(
+    engine: TimingEngine,
+    compiled: CompiledKernel,
+    workload: KernelWorkload,
+    launch: LaunchConfig,
+) -> KernelProfile:
+    """Time a launch and package the profile."""
+    timing = engine.time_kernel(compiled, workload, launch)
+    return KernelProfile(
+        kernel=workload.kernel,
+        device=compiled.device,
+        branch=compiled.branch.value,
+        registers_per_thread=compiled.regs_per_thread,
+        theoretical_occupancy_pct=100.0 * timing.occupancy.theoretical,
+        warp_occupancy_pct=100.0 * timing.achieved_occupancy,
+        compute_throughput_pct=timing.compute_throughput_pct,
+        memory_throughput_pct=timing.memory_throughput_pct,
+        time_ms=timing.time_ms,
+        timing=timing,
+    )

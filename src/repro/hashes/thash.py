@@ -1,0 +1,126 @@
+"""Tweakable hash functions — the SHA-256 *simple* instantiation.
+
+SPHINCS+ builds every internal operation from a small family of keyed,
+addressed hash functions.  This module implements the "simple" SHA-256
+construction of the round-3 specification:
+
+* ``T_l(pk_seed, adrs, m)   = SHA-256(pk_seed || pad || compressed(adrs) || m)``
+* ``PRF(pk_seed, sk_seed, adrs)`` — same construction over ``sk_seed``
+* ``H_msg / PRF_msg``        — message digesting with MGF1 expansion
+
+``pad`` right-pads ``pk_seed`` to the 64-byte SHA-256 block so the first
+compression-function call depends only on the seed and can be cached — the
+same precomputation trick every optimized implementation (including the
+paper's CUDA kernels) relies on.  We cache that midstate per context, and a
+``hash_counter`` tallies compression-equivalent calls so the GPU workload
+builders can be validated against the functional layer's true hash counts.
+
+Outputs longer than ``n`` bytes are truncated; H_msg uses MGF1 to stretch
+the digest to the index-extraction length.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from ..params import SphincsParams
+from .address import Address
+
+__all__ = ["HashContext", "mgf1_sha256"]
+
+_BLOCK = 64
+
+
+def mgf1_sha256(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation (PKCS#1) over SHA-256."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out += hashlib.sha256(seed + struct.pack(">I", counter)).digest()
+        counter += 1
+    return bytes(out[:length])
+
+
+class HashContext:
+    """All tweakable-hash operations for one parameter set and key pair.
+
+    Parameters
+    ----------
+    params:
+        The SPHINCS+ parameter set (supplies ``n``).
+    count_hashes:
+        When true, every T-hash/PRF call increments :attr:`hash_calls`
+        (by the number of SHA-256 compression invocations beyond the cached
+        seed midstate), letting tests cross-check the analytical workload
+        model against ground truth.
+    """
+
+    def __init__(self, params: SphincsParams, count_hashes: bool = False):
+        self.params = params
+        self.n = params.n
+        self._count = count_hashes
+        self.hash_calls = 0
+        self._midstates: dict[bytes, "hashlib._Hash"] = {}
+
+    # ------------------------------------------------------------------
+    def reset_counter(self) -> None:
+        self.hash_calls = 0
+
+    def _seeded(self, seed: bytes) -> "hashlib._Hash":
+        """A SHA-256 object primed with ``seed || pad`` (cached midstate)."""
+        state = self._midstates.get(seed)
+        if state is None:
+            state = hashlib.sha256(seed + b"\x00" * (_BLOCK - len(seed)))
+            self._midstates[seed] = state
+        return state.copy()
+
+    def _tally(self, message_bytes: int) -> None:
+        if self._count:
+            # Compression calls past the cached seed block: ADRS (22B) +
+            # message, plus padding.
+            total = 22 + message_bytes + 9  # 0x80 byte + 8-byte length
+            self.hash_calls += (total + _BLOCK - 1) // _BLOCK
+
+    # ------------------------------------------------------------------
+    # Core tweakable hash
+    # ------------------------------------------------------------------
+    def thash(self, pk_seed: bytes, adrs: Address, *chunks: bytes) -> bytes:
+        """``T_l``: hash ``l`` n-byte chunks under (pk_seed, adrs)."""
+        h = self._seeded(pk_seed)
+        h.update(adrs.compressed())
+        total = 0
+        for chunk in chunks:
+            h.update(chunk)
+            total += len(chunk)
+        self._tally(total)
+        return h.digest()[: self.n]
+
+    def prf(self, pk_seed: bytes, sk_seed: bytes, adrs: Address) -> bytes:
+        """``PRF``: derive an n-byte secret value for *adrs*."""
+        h = self._seeded(pk_seed)
+        h.update(adrs.compressed())
+        h.update(sk_seed)
+        self._tally(self.n)
+        return h.digest()[: self.n]
+
+    # ------------------------------------------------------------------
+    # Message hashing
+    # ------------------------------------------------------------------
+    def prf_msg(self, sk_prf: bytes, opt_rand: bytes, message: bytes) -> bytes:
+        """Randomizer ``R = PRF_msg(sk_prf, opt_rand, M)`` (HMAC-SHA-256)."""
+        import hmac
+
+        digest = hmac.new(sk_prf, opt_rand + message, hashlib.sha256).digest()
+        if self._count:
+            self.hash_calls += 2 + (len(opt_rand) + len(message) + 72) // _BLOCK
+        return digest[: self.n]
+
+    def h_msg(self, randomizer: bytes, pk_seed: bytes, pk_root: bytes,
+              message: bytes) -> bytes:
+        """``H_msg``: digest the message to ``params.digest_bytes`` bytes."""
+        inner = hashlib.sha256(randomizer + pk_seed + pk_root + message).digest()
+        if self._count:
+            payload = len(randomizer) + len(pk_seed) + len(pk_root) + len(message)
+            self.hash_calls += (payload + 9 + _BLOCK - 1) // _BLOCK
+        return mgf1_sha256(randomizer + pk_seed + inner, self.params.digest_bytes)

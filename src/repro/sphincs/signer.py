@@ -1,0 +1,209 @@
+"""The full SPHINCS+ scheme: key generation, signing, verification.
+
+:class:`Sphincs` composes FORS and the hypertree exactly as the paper's
+Figure 2 snippet does: hash the message, precompute ``indices`` and
+``leaf_idx``, FORS-sign, then walk the ``d`` Merkle layers.  Signatures
+serialize to the specified byte layout (``R || FORS || d * XMSS``) and the
+sizes match the specification (17,088 bytes for 128f, as quoted in the
+paper's introduction).
+
+Signing can also emit :class:`SigningArtifacts` — the intermediate values
+(indices, per-component hash tallies) that the GPU workload builders and
+the test suite cross-check against the analytical model.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..errors import SignatureFormatError
+from ..hashes.address import Address, AddressType
+from ..hashes.thash import HashContext
+from ..params import SphincsParams, get_params
+from .encoding import message_to_indices, split_digest
+from .fors import Fors, ForsSignature
+from .hypertree import Hypertree, HypertreeSignature
+
+__all__ = ["KeyPair", "SigningArtifacts", "Sphincs"]
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A SPHINCS+ key pair.
+
+    ``secret = (sk_seed, sk_prf, pk_seed, pk_root)``; the public key is the
+    last two components.
+    """
+
+    sk_seed: bytes
+    sk_prf: bytes
+    pk_seed: bytes
+    pk_root: bytes
+
+    @property
+    def public(self) -> bytes:
+        return self.pk_seed + self.pk_root
+
+    @property
+    def secret(self) -> bytes:
+        return self.sk_seed + self.sk_prf + self.pk_seed + self.pk_root
+
+
+@dataclass
+class SigningArtifacts:
+    """Intermediate values captured during one signing operation."""
+
+    randomizer: bytes = b""
+    fors_indices: list[int] = field(default_factory=list)
+    idx_tree: int = 0
+    idx_leaf: int = 0
+    fors_hash_calls: int = 0
+    tree_hash_calls: int = 0
+    wots_hash_calls: int = 0
+
+
+class Sphincs:
+    """SPHINCS+ for one parameter set.
+
+    >>> scheme = Sphincs("128f", deterministic=True)
+    >>> keys = scheme.keygen(seed=bytes(48))
+    >>> sig = scheme.sign(b"hello", keys)
+    >>> scheme.verify(b"hello", sig, keys.public)
+    True
+    """
+
+    def __init__(self, params: SphincsParams | str, deterministic: bool = False,
+                 count_hashes: bool = False):
+        self.params = get_params(params) if isinstance(params, str) else params
+        self.deterministic = deterministic
+        self.ctx = HashContext(self.params, count_hashes=count_hashes)
+        self.fors = Fors(self.ctx)
+        self.hypertree = Hypertree(self.ctx)
+
+    # ------------------------------------------------------------------
+    def keygen(self, seed: bytes | None = None) -> KeyPair:
+        """Generate a key pair; *seed* (3n bytes) makes it deterministic."""
+        n = self.params.n
+        if seed is None:
+            seed = os.urandom(3 * n)
+        if len(seed) != 3 * n:
+            raise SignatureFormatError(f"keygen seed must be {3 * n} bytes")
+        sk_seed, sk_prf, pk_seed = seed[:n], seed[n:2 * n], seed[2 * n:]
+        pk_root = self.hypertree.root(sk_seed, pk_seed)
+        return KeyPair(sk_seed, sk_prf, pk_seed, pk_root)
+
+    # ------------------------------------------------------------------
+    def sign(self, message: bytes, keys: KeyPair,
+             artifacts: SigningArtifacts | None = None) -> bytes:
+        """Sign *message*, returning the serialized signature."""
+        params = self.params
+        opt_rand = keys.pk_seed if self.deterministic else os.urandom(params.n)
+        randomizer = self.ctx.prf_msg(keys.sk_prf, opt_rand, message)
+
+        digest = self.ctx.h_msg(randomizer, keys.pk_seed, keys.pk_root, message)
+        fors_msg, idx_tree, idx_leaf = split_digest(digest, params)
+
+        fors_adrs = Address().set_layer(0).set_tree(idx_tree)
+        fors_adrs.set_type(AddressType.FORS_TREE)
+        fors_adrs.set_keypair(idx_leaf)
+
+        counting = self.ctx.hash_calls if artifacts is not None else 0
+        fors_sig, fors_pk = self.fors.sign(
+            fors_msg, keys.sk_seed, keys.pk_seed, fors_adrs
+        )
+        if artifacts is not None:
+            artifacts.fors_hash_calls = self.ctx.hash_calls - counting
+            counting = self.ctx.hash_calls
+
+        ht_sig, root = self.hypertree.sign(
+            fors_pk, keys.sk_seed, keys.pk_seed, idx_tree, idx_leaf
+        )
+        if root != keys.pk_root:
+            raise SignatureFormatError(
+                "internal error: hypertree root does not match public key"
+            )
+        if artifacts is not None:
+            artifacts.randomizer = randomizer
+            artifacts.fors_indices = message_to_indices(fors_msg, params)
+            artifacts.idx_tree = idx_tree
+            artifacts.idx_leaf = idx_leaf
+            artifacts.tree_hash_calls = self.ctx.hash_calls - counting
+
+        return self._serialize(randomizer, fors_sig, ht_sig)
+
+    # ------------------------------------------------------------------
+    def verify(self, message: bytes, signature: bytes, public_key: bytes) -> bool:
+        """Verify *signature* over *message* under *public_key*."""
+        params = self.params
+        if len(public_key) != params.pk_bytes:
+            return False
+        if len(signature) != params.sig_bytes:
+            return False
+        pk_seed, pk_root = public_key[:params.n], public_key[params.n:]
+        try:
+            randomizer, fors_sig, ht_sig = self._deserialize(signature)
+        except SignatureFormatError:
+            return False
+
+        digest = self.ctx.h_msg(randomizer, pk_seed, pk_root, message)
+        fors_msg, idx_tree, idx_leaf = split_digest(digest, params)
+
+        fors_adrs = Address().set_layer(0).set_tree(idx_tree)
+        fors_adrs.set_type(AddressType.FORS_TREE)
+        fors_adrs.set_keypair(idx_leaf)
+        fors_pk = self.fors.pk_from_sig(fors_sig, fors_msg, pk_seed, fors_adrs)
+
+        root = self.hypertree.pk_from_sig(
+            ht_sig, fors_pk, pk_seed, idx_tree, idx_leaf
+        )
+        return root == pk_root
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _serialize(self, randomizer: bytes, fors_sig: ForsSignature,
+                   ht_sig: HypertreeSignature) -> bytes:
+        parts = [randomizer]
+        for secret, path in fors_sig:
+            parts.append(secret)
+            parts.extend(path)
+        for chain_values, path in ht_sig:
+            parts.extend(chain_values)
+            parts.extend(path)
+        blob = b"".join(parts)
+        if len(blob) != self.params.sig_bytes:
+            raise SignatureFormatError(
+                f"serialized signature is {len(blob)} bytes, expected "
+                f"{self.params.sig_bytes}"
+            )
+        return blob
+
+    def _deserialize(self, blob: bytes) -> tuple[bytes, ForsSignature,
+                                                 HypertreeSignature]:
+        params = self.params
+        n = params.n
+        if len(blob) != params.sig_bytes:
+            raise SignatureFormatError(
+                f"signature is {len(blob)} bytes, expected {params.sig_bytes}"
+            )
+        pos = 0
+
+        def take(count: int) -> bytes:
+            nonlocal pos
+            chunk = blob[pos:pos + count]
+            pos += count
+            return chunk
+
+        randomizer = take(n)
+        fors_sig: ForsSignature = []
+        for _ in range(params.k):
+            secret = take(n)
+            path = [take(n) for _ in range(params.log_t)]
+            fors_sig.append((secret, path))
+        ht_sig: HypertreeSignature = []
+        for _ in range(params.d):
+            chains = [take(n) for _ in range(params.wots_len)]
+            path = [take(n) for _ in range(params.tree_height)]
+            ht_sig.append((chains, path))
+        return randomizer, fors_sig, ht_sig

@@ -1,0 +1,32 @@
+"""Smoke tests for the programmatic experiment driver."""
+
+from repro.analysis import experiments
+
+
+class TestDriver:
+    def test_table4_renders(self):
+        out = experiments.run_table4()
+        assert "Table IV" in out
+        assert "128f" in out and "192f" in out
+
+    def test_table10_renders(self):
+        out = experiments.run_table10()
+        assert "Table X" in out
+        assert "0.143" in out  # the paper's 128f single-thread figure
+
+    def test_table11_renders(self):
+        out = experiments.run_table11()
+        assert "Table XI" in out
+
+    def test_table5_renders(self):
+        out = experiments.run_table5()
+        assert out.count("PTX") >= 5  # paper column has 5 PTX picks
+
+    def test_fig12_renders(self):
+        out = experiments.run_fig12()
+        for mode in ("baseline", "baseline-graph", "streams", "graph"):
+            assert mode in out
+
+    def test_device_override(self):
+        out = experiments.run_table2("H100")
+        assert "Table II" in out

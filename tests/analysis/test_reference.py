@@ -1,0 +1,60 @@
+"""Sanity checks over the transcribed paper data (guards against typos
+that would silently corrupt every paper-vs-model comparison)."""
+
+from repro.analysis import PAPER
+
+
+class TestInternalConsistency:
+    def test_all_sets_present_everywhere(self):
+        for key in ("table2_breakdown_ms", "table5_ptx_selection",
+                    "table8_kernels", "fig11_fors_steps_kops",
+                    "fig12_e2e_kops"):
+            assert set(PAPER[key]) == {"128f", "192f", "256f"}, key
+
+    def test_fig11_baseline_matches_table8(self):
+        """Figure 11's baseline FORS KOPS equal Table VIII's column."""
+        for alias in ("128f", "192f", "256f"):
+            fig = PAPER["fig11_fors_steps_kops"][alias]["Baseline"]
+            table = PAPER["table8_kernels"][alias]["FORS_Sign"]["kops"][0]
+            assert fig == table
+
+    def test_fig11_final_matches_table8_hero(self):
+        for alias in ("128f", "192f", "256f"):
+            fig = PAPER["fig11_fors_steps_kops"][alias]["+FreeBank"]
+            table = PAPER["table8_kernels"][alias]["FORS_Sign"]["kops"][1]
+            assert fig == table
+
+    def test_fig12_graph_matches_table9(self):
+        """Table IX's HERO-Sign row is Figure 12's graph-mode KOPS."""
+        for alias in ("128f", "192f", "256f"):
+            t9 = PAPER["table9_cross_platform"]["herosign_rtx4090_kops"][alias]
+            f12 = PAPER["fig12_e2e_kops"][alias]["graph"]
+            assert t9 == f12
+
+    def test_hero_always_beats_baseline(self):
+        for alias, kernels in PAPER["table8_kernels"].items():
+            for kernel, data in kernels.items():
+                base, hero = data["kops"]
+                assert hero > base, f"{alias}/{kernel}"
+
+    def test_fig11_monotone_nondecreasing(self):
+        order = ("Baseline", "MMTP", "+FS", "+PTX", "+HybridME", "+FreeBank")
+        for alias, steps in PAPER["fig11_fors_steps_kops"].items():
+            values = [steps[name] for name in order]
+            assert values == sorted(values), alias
+
+    def test_compile_time_speedups_positive(self):
+        for alias, row in PAPER["table11_compile_s"].items():
+            assert row["baseline"] > row["herosign"], alias
+
+    def test_avx2_monotone_in_security(self):
+        for column in ("single", "threads16"):
+            vals = [PAPER["table10_avx2"][column][a]
+                    for a in ("128f", "192f", "256f")]
+            assert vals == sorted(vals, reverse=True)
+
+    def test_bank_conflicts_padding_near_zero(self):
+        for alias, kernels in PAPER["table6_bank_conflicts"].items():
+            for kernel, data in kernels.items():
+                loads, stores = data["padded"]
+                assert loads <= 1 and stores == 0, f"{alias}/{kernel}"

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import DEVICES, get_device
+from repro.gpusim.engine import TimingEngine
+from repro.params import FAST_SETS, get_params
+
+
+@pytest.fixture(scope="session")
+def rtx4090():
+    return get_device("RTX 4090")
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return TimingEngine()
+
+
+@pytest.fixture(scope="session", params=["128f", "192f", "256f"])
+def fast_params(request):
+    """Each of the paper's three -f parameter sets."""
+    return get_params(request.param)
+
+
+@pytest.fixture(scope="session", params=sorted(DEVICES))
+def any_device(request):
+    """Each device in the catalog."""
+    return DEVICES[request.param]

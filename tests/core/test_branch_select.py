@@ -1,0 +1,50 @@
+"""Profiling-driven branch selection must reproduce paper Table V."""
+
+import pytest
+
+from repro.analysis import PAPER
+from repro.core.branch_select import select_branches
+from repro.core.kernels import OptimizationFlags, build_plans
+from repro.gpusim.compiler import Branch
+from repro.params import get_params
+
+BRANCHES = {k: Branch.NATIVE for k in ("FORS_Sign", "TREE_Sign", "WOTS_Sign")}
+
+
+@pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+def test_table5_selection_pattern(alias, rtx4090, engine):
+    plans = build_plans(
+        get_params(alias), rtx4090, OptimizationFlags.full(), branches=BRANCHES
+    )
+    choices = select_branches(plans, engine)
+    expected = PAPER["table5_ptx_selection"][alias]
+    for kernel, want_ptx in expected.items():
+        got = choices[kernel].ptx_selected
+        assert got == want_ptx, (
+            f"{alias}/{kernel}: model selected "
+            f"{'PTX' if got else 'native'}, paper selected "
+            f"{'PTX' if want_ptx else 'native'}"
+        )
+
+
+def test_choice_reports_both_timings(rtx4090, engine):
+    plans = build_plans(
+        get_params("128f"), rtx4090, OptimizationFlags.full(), branches=BRANCHES
+    )
+    choices = select_branches(plans, engine)
+    for choice in choices.values():
+        assert choice.native_time_s > 0
+        assert choice.ptx_time_s > 0
+        assert choice.speedup >= 1.0
+        assert choice.winner in (Branch.NATIVE, Branch.PTX)
+
+
+def test_winner_is_faster_branch(rtx4090, engine):
+    plans = build_plans(
+        get_params("256f"), rtx4090, OptimizationFlags.full(), branches=BRANCHES
+    )
+    for choice in select_branches(plans, engine).values():
+        if choice.winner is Branch.PTX:
+            assert choice.ptx_time_s <= choice.native_time_s
+        else:
+            assert choice.native_time_s <= choice.ptx_time_s

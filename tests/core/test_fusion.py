@@ -1,0 +1,64 @@
+"""FORS fusion planning and Relax-FORS tests."""
+
+import pytest
+
+from repro.core.fusion import ForsPlan, needs_relax, plan_fors
+from repro.params import get_params
+
+SMEM = 48 * 1024
+
+
+class TestRelaxDecision:
+    def test_only_256f_needs_relax_at_48k(self):
+        assert not needs_relax(get_params("128f"), SMEM)
+        assert not needs_relax(get_params("192f"), SMEM)
+        assert needs_relax(get_params("256f"), SMEM)
+
+    def test_larger_budget_avoids_relax(self):
+        assert not needs_relax(get_params("256f"), 160 * 1024)
+
+
+class TestPlans:
+    def test_128f_plan_matches_tuning(self):
+        plan = plan_fors(get_params("128f"), SMEM)
+        assert plan.threads_per_block == 704
+        assert plan.fusion_f == 3
+        assert plan.n_tree == 11
+        assert not plan.relax
+        assert plan.trees_in_flight == 33
+        assert plan.rounds == 1
+
+    def test_192f_plan(self):
+        plan = plan_fors(get_params("192f"), SMEM)
+        assert (plan.threads_per_block, plan.fusion_f) == (768, 2)
+        assert plan.rounds == 6  # ceil(33 / 6)
+
+    def test_256f_plan_uses_relax(self):
+        plan = plan_fors(get_params("256f"), SMEM)
+        assert plan.relax
+        assert plan.relax_buffer_regs == 16  # two 32-byte leaves
+        assert plan.trees_in_flight >= 6
+
+    def test_force_relax_override(self):
+        plan = plan_fors(get_params("128f"), SMEM, force_relax=True)
+        assert plan.relax
+        assert plan.relax_buffer_regs == 8
+
+    def test_padding_overhead_in_smem(self):
+        padded = plan_fors(get_params("128f"), SMEM, padded=True)
+        packed = plan_fors(get_params("128f"), SMEM, padded=False)
+        assert padded.smem_per_block > packed.smem_per_block
+        assert packed.smem_per_block == packed.smem_bytes
+
+    def test_smem_within_budget(self):
+        for alias in ("128f", "192f", "256f"):
+            plan = plan_fors(get_params(alias), SMEM)
+            # Padding may add a few percent over the tuned data bytes but
+            # the data bytes respect the budget.
+            assert plan.smem_bytes <= SMEM
+
+    def test_rounds_cover_all_trees(self):
+        for alias in ("128f", "192f", "256f"):
+            params = get_params(alias)
+            plan = plan_fors(params, SMEM)
+            assert plan.rounds * plan.trees_in_flight >= params.k

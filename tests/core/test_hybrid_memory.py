@@ -1,0 +1,41 @@
+"""Memory-plan tests."""
+
+import pytest
+
+from repro.errors import GpuModelError
+from repro.core.hybrid_memory import MEMORY_PLANS, get_memory_plan
+
+
+class TestPlans:
+    def test_three_plans(self):
+        assert set(MEMORY_PLANS) == {"global", "shared", "hybrid"}
+
+    def test_placement_flags(self):
+        g, s, h = (get_memory_plan(n) for n in ("global", "shared", "hybrid"))
+        assert not g.nodes_in_shared and g.node_global_traffic
+        assert s.nodes_in_shared and not s.seeds_in_constant
+        assert h.nodes_in_shared and h.seeds_in_constant and h.vectorized_global
+
+    def test_overheads_strictly_improve(self):
+        """Each placement tier must lower every kernel's per-hash cost."""
+        g, s, h = (get_memory_plan(n) for n in ("global", "shared", "hybrid"))
+        for kernel in ("FORS_Sign", "TREE_Sign", "WOTS_Sign"):
+            for n in (16, 24, 32):
+                assert g.overhead_for(kernel, n) > s.overhead_for(kernel, n)
+                assert s.overhead_for(kernel, n) > h.overhead_for(kernel, n)
+
+    def test_fors_is_the_most_wrapper_heavy(self):
+        g = get_memory_plan("global")
+        assert g.overhead_for("FORS_Sign", 16) > g.overhead_for("TREE_Sign", 16)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(GpuModelError, match="unknown memory plan"):
+            get_memory_plan("quantum")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(GpuModelError, match="no overhead entry"):
+            get_memory_plan("hybrid").overhead_for("NOPE", 16)
+
+    def test_unknown_n_rejected(self):
+        with pytest.raises(GpuModelError, match="no overhead entry"):
+            get_memory_plan("hybrid").overhead_for("FORS_Sign", 20)

@@ -1,0 +1,111 @@
+"""Optimization-ladder and kernel-comparison tests: the paper's *shape*
+claims, asserted with explicit tolerances."""
+
+import pytest
+
+from repro.analysis import PAPER
+from repro.analysis.reporting import shape_check
+from repro.core.pipeline import (
+    LADDER_STEPS,
+    kernel_comparison,
+    optimization_ladder,
+)
+from repro.params import get_params
+
+
+@pytest.fixture(scope="module")
+def ladders(rtx4090_module):
+    return {
+        alias: optimization_ladder(get_params(alias), rtx4090_module)
+        for alias in ("128f", "192f", "256f")
+    }
+
+
+@pytest.fixture(scope="module")
+def rtx4090_module():
+    from repro.gpusim.device import get_device
+
+    return get_device("RTX 4090")
+
+
+@pytest.fixture(scope="module")
+def comparisons(rtx4090_module):
+    return {
+        alias: kernel_comparison(get_params(alias), rtx4090_module)
+        for alias in ("128f", "192f", "256f")
+    }
+
+
+class TestLadderShape:
+    def test_step_names(self, ladders):
+        names = [step.name for step in ladders["128f"]]
+        assert names == [name for name, _ in LADDER_STEPS]
+        assert names == ["Baseline", "MMTP", "+FS", "+PTX", "+HybridME",
+                         "+FreeBank"]
+
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_every_step_helps(self, ladders, alias):
+        """Each cumulative optimization must not slow FORS_Sign down."""
+        for step in ladders[alias][1:]:
+            assert step.step_speedup >= 0.99, f"{alias}/{step.name} regressed"
+
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_cumulative_speedup_band(self, ladders, alias):
+        """Paper Fig. 11 cumulative: 2.14x / 1.72x / 1.75x.  Require the
+        model within a +-50% multiplicative band."""
+        paper = PAPER["fig11_fors_steps_kops"][alias]
+        paper_cum = paper["+FreeBank"] / paper["Baseline"]
+        shape_check(ladders[alias][-1].cumulative_speedup, paper_cum, 0.5,
+                    label=f"fig11 cumulative {alias}")
+
+    def test_mmtp_is_the_biggest_step_for_128f(self, ladders):
+        steps = {s.name: s.step_speedup for s in ladders["128f"][1:]}
+        assert steps["MMTP"] == max(steps.values())
+
+    def test_relax_fs_matters_most_at_256f(self, ladders):
+        """The paper's 256f story: +FS (Relax-FORS) beats plain MMTP."""
+        steps = {s.name: s.step_speedup for s in ladders["256f"][1:]}
+        assert steps["+FS"] > steps["MMTP"]
+
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_absolute_kops_within_band(self, ladders, alias):
+        """Baseline and final KOPS within x2 of the paper's numbers."""
+        paper = PAPER["fig11_fors_steps_kops"][alias]
+        shape_check(ladders[alias][0].kops, paper["Baseline"], 1.0,
+                    label=f"fig11 baseline KOPS {alias}")
+        shape_check(ladders[alias][-1].kops, paper["+FreeBank"], 1.0,
+                    label=f"fig11 final KOPS {alias}")
+
+
+class TestKernelComparisonShape:
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_herosign_wins_every_kernel(self, comparisons, alias):
+        for kernel, (base, hero) in comparisons[alias].items():
+            assert hero.kops > base.kops, f"{alias}/{kernel}: HERO lost"
+
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_speedups_within_band(self, comparisons, alias):
+        """Per-kernel speedups within +-40% of paper Table VIII."""
+        for kernel, (base, hero) in comparisons[alias].items():
+            paper_b, paper_h = PAPER["table8_kernels"][alias][kernel]["kops"]
+            shape_check(hero.kops / base.kops, paper_h / paper_b, 0.4,
+                        label=f"table8 speedup {alias}/{kernel}")
+
+    def test_tree_256f_occupancy_doubles(self, comparisons):
+        """The PTX register-saving mechanism (paper: 19% -> 37.5%
+        theoretical)."""
+        base, hero = comparisons["256f"]["TREE_Sign"]
+        base_occ = base.profile.theoretical_occupancy_pct
+        hero_occ = hero.profile.theoretical_occupancy_pct
+        assert hero_occ / base_occ == pytest.approx(2.0, rel=0.1)
+
+    def test_wots_is_fastest_kernel(self, comparisons):
+        for alias in ("128f", "192f", "256f"):
+            cmp = comparisons[alias]
+            assert cmp["WOTS_Sign"][1].kops > cmp["FORS_Sign"][1].kops
+            assert cmp["WOTS_Sign"][1].kops > cmp["TREE_Sign"][1].kops
+
+    def test_tree_is_slowest_kernel(self, comparisons):
+        for alias in ("128f", "192f", "256f"):
+            cmp = comparisons[alias]
+            assert cmp["TREE_Sign"][1].kops < cmp["FORS_Sign"][1].kops

@@ -1,0 +1,34 @@
+"""Calibration constants must stay inside physically plausible bands
+(so a refit cannot silently drift into nonsense — see DESIGN.md)."""
+
+from repro.gpusim.calibration import DEFAULT_CALIBRATION
+
+
+class TestPlausibleRanges:
+    def test_dependent_issue_cycles(self):
+        # ALU latency 4-5 cycles / ILP ~2.
+        assert 1.5 <= DEFAULT_CALIBRATION.dependent_issue_cycles <= 3.0
+
+    def test_warps_to_hide_latency(self):
+        assert 2.0 <= DEFAULT_CALIBRATION.warps_to_hide_latency_per_scheduler <= 8.0
+
+    def test_sync_cycles(self):
+        assert 20.0 <= DEFAULT_CALIBRATION.sync_cycles <= 200.0
+
+    def test_launch_overheads(self):
+        cal = DEFAULT_CALIBRATION
+        assert 2.0 <= cal.kernel_launch_us <= 10.0
+        assert cal.graph_node_us < cal.graph_launch_us < 20.0
+        assert cal.graph_launch_us <= 3 * cal.kernel_launch_us
+
+    def test_dram_latency(self):
+        assert 300.0 <= DEFAULT_CALIBRATION.dram_latency_cycles <= 900.0
+
+    def test_issue_efficiency(self):
+        assert 0.5 <= DEFAULT_CALIBRATION.issue_efficiency <= 1.0
+
+    def test_graph_amortization_is_large(self):
+        """Per-node graph cost must be tiny relative to a stream launch —
+        the two-orders-of-magnitude mechanism."""
+        cal = DEFAULT_CALIBRATION
+        assert cal.kernel_launch_us / cal.graph_node_us > 50

@@ -1,0 +1,59 @@
+"""Compilation-time model tests (paper Table XI)."""
+
+import pytest
+
+from repro.errors import GpuModelError
+from repro.gpusim.compile_time import CompileTimeModel
+from repro.gpusim.compiler import Branch
+from repro.params import get_params
+
+# Paper Table V branch selections.
+SELECTIONS = {
+    "128f": {"FORS_Sign": Branch.PTX, "TREE_Sign": Branch.NATIVE,
+             "WOTS_Sign": Branch.NATIVE},
+    "192f": {"FORS_Sign": Branch.PTX, "TREE_Sign": Branch.NATIVE,
+             "WOTS_Sign": Branch.NATIVE},
+    "256f": {"FORS_Sign": Branch.PTX, "TREE_Sign": Branch.PTX,
+             "WOTS_Sign": Branch.PTX},
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CompileTimeModel()
+
+
+class TestBaselineColumn:
+    @pytest.mark.parametrize(
+        "alias, expected", [("128f", 18.68), ("192f", 23.25), ("256f", 24.19)]
+    )
+    def test_matches_paper(self, model, alias, expected):
+        assert model.baseline_seconds(get_params(alias)) == pytest.approx(
+            expected, rel=0.02
+        )
+
+
+class TestHeroColumn:
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_herosign_compiles_faster(self, model, alias):
+        """The paper's headline: optimization-space savings outweigh the
+        template-instantiation overhead."""
+        report = model.report(get_params(alias), SELECTIONS[alias])
+        assert report.herosign_s < report.baseline_s
+        assert 1.0 < report.speedup < 1.6
+
+    def test_more_ptx_kernels_save_more(self, model):
+        p = get_params("256f")
+        one = model.herosign_seconds(p, {"FORS_Sign": Branch.PTX})
+        all_three = model.herosign_seconds(p, SELECTIONS["256f"])
+        assert all_three < one
+
+    def test_all_native_costs_template_overhead(self, model):
+        """With no PTX kernels, specialization is pure overhead."""
+        p = get_params("128f")
+        natives = {k: Branch.NATIVE for k in SELECTIONS["128f"]}
+        assert model.herosign_seconds(p, natives) > model.baseline_seconds(p)
+
+    def test_unknown_kernel_rejected(self, model):
+        with pytest.raises(GpuModelError):
+            model.herosign_seconds(get_params("128f"), {"NOPE": Branch.PTX})

@@ -1,0 +1,133 @@
+"""Compiler-model tests: instruction lowering, register tables, and the
+native-vs-PTX trade-off structure behind paper Table V."""
+
+import pytest
+
+from repro.errors import GpuModelError
+from repro.gpusim.compiler import Branch, CompilerModel, KERNEL_NAMES
+from repro.gpusim.instructions import IADD3, MAD, PRMT, SHL
+from repro.params import get_params
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return CompilerModel()
+
+
+class TestShaLowering:
+    def test_native_has_no_prmt(self, compiler):
+        mix = compiler.sha_mix(Branch.NATIVE)
+        assert PRMT not in mix.counts
+        assert mix.counts[SHL] > 0
+
+    def test_ptx_uses_one_prmt_per_endian_load(self, compiler):
+        mix = compiler.sha_mix(Branch.PTX)
+        assert mix.counts[PRMT] == 16
+
+    def test_ptx_retains_mad(self, compiler):
+        assert MAD in compiler.sha_mix(Branch.PTX).counts
+        assert MAD not in compiler.sha_mix(Branch.NATIVE).counts
+
+    def test_ptx_reduces_raw_instruction_count(self, compiler):
+        """prmt collapses the shift/mask byte swap: fewer instructions."""
+        native = compiler.sha_mix(Branch.NATIVE).total()
+        ptx = compiler.sha_mix(Branch.PTX).total()
+        assert ptx < native
+
+    def test_mix_scale_is_sha256_like(self, compiler):
+        """An optimized SHA-256 compression is ~1.2-2.2k SASS instructions."""
+        for branch in Branch:
+            assert 1200 <= compiler.sha_mix(branch).total() <= 2200
+
+
+class TestRegisterTable:
+    def test_paper_table3_anchors(self, compiler):
+        """Baseline 128f registers from paper Table III."""
+        p = get_params("128f")
+        assert compiler.registers("FORS_Sign", p, Branch.NATIVE) == 64
+        assert compiler.registers("TREE_Sign", p, Branch.NATIVE) == 128
+        assert compiler.registers("WOTS_Sign", p, Branch.NATIVE) == 72
+
+    def test_paper_256f_tree_anchors(self, compiler):
+        """Paper §III-C.2: TREE_Sign 256f native 168 -> PTX 95 registers."""
+        p = get_params("256f")
+        assert compiler.registers("TREE_Sign", p, Branch.NATIVE) == 168
+        assert compiler.registers("TREE_Sign", p, Branch.PTX) == 95
+
+    def test_ptx_always_reduces_registers(self, compiler):
+        for alias in ("128f", "192f", "256f"):
+            p = get_params(alias)
+            for kernel in KERNEL_NAMES:
+                assert compiler.registers(kernel, p, Branch.PTX) < (
+                    compiler.registers(kernel, p, Branch.NATIVE)
+                )
+
+    def test_registers_grow_with_security_level(self, compiler):
+        for kernel in KERNEL_NAMES:
+            for branch in Branch:
+                regs = [
+                    compiler.registers(kernel, get_params(a), branch)
+                    for a in ("128f", "192f", "256f")
+                ]
+                assert regs == sorted(regs)
+
+    def test_unknown_kernel_rejected(self, compiler):
+        with pytest.raises(GpuModelError, match="unknown kernel"):
+            compiler.registers("HASH_Sign", get_params("128f"), Branch.NATIVE)
+
+
+class TestIssueCostTradeoff:
+    """The issue-cost structure that makes Table V's selection emerge."""
+
+    @pytest.mark.parametrize("alias", ["128f", "192f", "256f"])
+    def test_fors_ptx_wins_on_issue(self, compiler, alias, rtx4090):
+        p = get_params(alias)
+        native = compiler.compile("FORS_Sign", p, rtx4090, Branch.NATIVE)
+        ptx = compiler.compile("FORS_Sign", p, rtx4090, Branch.PTX)
+        assert ptx.issue_cycles_per_hash < native.issue_cycles_per_hash
+
+    @pytest.mark.parametrize("kernel", ["TREE_Sign", "WOTS_Sign"])
+    @pytest.mark.parametrize("alias", ["128f", "192f"])
+    def test_heavy_kernels_native_wins_at_low_levels(self, compiler, kernel,
+                                                     alias, rtx4090):
+        """The optimization-space penalty outweighs prmt savings."""
+        p = get_params(alias)
+        native = compiler.compile(kernel, p, rtx4090, Branch.NATIVE)
+        ptx = compiler.compile(kernel, p, rtx4090, Branch.PTX)
+        assert native.issue_cycles_per_hash < ptx.issue_cycles_per_hash
+
+    @pytest.mark.parametrize("kernel", ["TREE_Sign", "WOTS_Sign"])
+    def test_heavy_kernels_ptx_wins_at_256f(self, compiler, kernel, rtx4090):
+        p = get_params("256f")
+        native = compiler.compile(kernel, p, rtx4090, Branch.NATIVE)
+        ptx = compiler.compile(kernel, p, rtx4090, Branch.PTX)
+        assert ptx.issue_cycles_per_hash < native.issue_cycles_per_hash
+
+
+class TestCompiledKernel:
+    def test_overhead_enters_mix(self, rtx4090):
+        lean = CompilerModel(per_hash_overhead=0.0)
+        heavy = CompilerModel(per_hash_overhead=1000.0)
+        p = get_params("128f")
+        a = lean.compile("FORS_Sign", p, rtx4090, Branch.NATIVE)
+        b = heavy.compile("FORS_Sign", p, rtx4090, Branch.NATIVE)
+        assert b.issue_cycles_per_hash - a.issue_cycles_per_hash == pytest.approx(1000.0)
+
+    def test_dependent_cycles_exclude_overhead(self, rtx4090):
+        """The latency view covers the hash rounds, not bookkeeping."""
+        lean = CompilerModel(per_hash_overhead=0.0)
+        heavy = CompilerModel(per_hash_overhead=1000.0)
+        p = get_params("128f")
+        a = lean.compile("FORS_Sign", p, rtx4090, Branch.NATIVE)
+        b = heavy.compile("FORS_Sign", p, rtx4090, Branch.NATIVE)
+        assert a.dependent_cycles_per_hash == pytest.approx(b.dependent_cycles_per_hash)
+
+    def test_pascal_pays_more_for_rotates(self):
+        """Pre-Volta rotates cost two instructions' issue."""
+        from repro.gpusim.device import get_device
+
+        cm = CompilerModel()
+        p = get_params("128f")
+        pascal = cm.compile("FORS_Sign", p, get_device("GTX 1070"), Branch.NATIVE)
+        ada = cm.compile("FORS_Sign", p, get_device("RTX 4090"), Branch.NATIVE)
+        assert pascal.issue_cycles_per_hash > ada.issue_cycles_per_hash

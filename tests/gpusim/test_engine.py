@@ -1,0 +1,142 @@
+"""Timing-engine tests: bounds, monotonicity, and mechanism directions."""
+
+import pytest
+
+from repro.gpusim.compiler import Branch, CompilerModel
+from repro.gpusim.engine import TimingEngine
+from repro.gpusim.kernel import KernelWorkload, LaunchConfig, WorkloadPhase
+from repro.params import get_params
+
+
+def _kernel(rtx4090, branch=Branch.NATIVE, overhead=200.0, kernel="FORS_Sign"):
+    return CompilerModel(per_hash_overhead=overhead).compile(
+        kernel, get_params("128f"), rtx4090, branch
+    )
+
+
+def _workload(hash_total=10_000.0, depth=4.0, threads=256, syncs=0,
+              smem=0.0, global_bytes=0.0):
+    return KernelWorkload("FORS_Sign", [
+        WorkloadPhase(
+            name="work", hash_total=hash_total, hash_depth=depth,
+            active_threads=threads, syncs=syncs,
+            smem_load_passes=smem, global_bytes=global_bytes,
+        )
+    ])
+
+
+class TestBasics:
+    def test_positive_time(self, engine, rtx4090):
+        t = engine.time_kernel(
+            _kernel(rtx4090), _workload(), LaunchConfig(128, 256)
+        )
+        assert t.time_s > 0
+        assert t.waves >= 1
+
+    def test_more_hashes_take_longer(self, engine, rtx4090):
+        small = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=1e4), LaunchConfig(512, 256)
+        )
+        large = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=1e5), LaunchConfig(512, 256)
+        )
+        assert large.time_s > small.time_s
+
+    def test_more_blocks_take_longer(self, engine, rtx4090):
+        small = engine.time_kernel(
+            _kernel(rtx4090), _workload(), LaunchConfig(256, 256)
+        )
+        large = engine.time_kernel(
+            _kernel(rtx4090), _workload(), LaunchConfig(4096, 256)
+        )
+        assert large.time_s > small.time_s
+
+    def test_waves_roundup(self, engine, rtx4090):
+        t = engine.time_kernel(
+            _kernel(rtx4090), _workload(), LaunchConfig(10_000, 1024)
+        )
+        # 1024-thread blocks: one per SM; 10000 blocks over 128 SMs.
+        assert t.waves == 79
+
+
+class TestMechanisms:
+    def test_sync_cost_is_visible(self, engine, rtx4090):
+        quiet = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=100, syncs=0),
+            LaunchConfig(128, 256),
+        )
+        noisy = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=100, syncs=50),
+            LaunchConfig(128, 256),
+        )
+        assert noisy.time_s > quiet.time_s
+
+    def test_bank_conflict_passes_slow_the_kernel(self, engine, rtx4090):
+        clean = engine.time_kernel(
+            _kernel(rtx4090), _workload(smem=0.0), LaunchConfig(1024, 256)
+        )
+        conflicted = engine.time_kernel(
+            _kernel(rtx4090), _workload(smem=50_000.0), LaunchConfig(1024, 256)
+        )
+        assert conflicted.time_s > clean.time_s
+
+    def test_global_traffic_slows_the_kernel(self, engine, rtx4090):
+        light = engine.time_kernel(
+            _kernel(rtx4090), _workload(global_bytes=0), LaunchConfig(1024, 256)
+        )
+        heavy = engine.time_kernel(
+            _kernel(rtx4090), _workload(global_bytes=5e6), LaunchConfig(1024, 256)
+        )
+        assert heavy.time_s > light.time_s
+
+    def test_latency_bound_kicks_in_for_deep_chains(self, engine, rtx4090):
+        """A single thread's long dependent chain floors the runtime even
+        when total work is tiny."""
+        shallow = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=64, depth=1),
+            LaunchConfig(1, 64),
+        )
+        deep = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=64, depth=64),
+            LaunchConfig(1, 64),
+        )
+        assert deep.time_s > 10 * shallow.time_s
+
+    def test_low_occupancy_hurts_throughput(self, engine, rtx4090):
+        """Registers that halve resident warps slow a throughput-bound
+        kernel — the PTX/256f mechanism."""
+        fat = CompilerModel(per_hash_overhead=200.0).compile(
+            "TREE_Sign", get_params("256f"), rtx4090, Branch.NATIVE
+        )  # 168 regs -> 9 warps at 272 threads
+        slim = CompilerModel(per_hash_overhead=200.0).compile(
+            "TREE_Sign", get_params("256f"), rtx4090, Branch.PTX
+        )   # 95 regs -> 18 warps
+        wl = KernelWorkload("TREE_Sign", [
+            WorkloadPhase("leaves", 50_000.0, 100.0, 272)
+        ])
+        t_fat = engine.time_kernel(fat, wl, LaunchConfig(1024, 272))
+        t_slim = engine.time_kernel(slim, wl, LaunchConfig(1024, 272))
+        assert t_slim.time_s < t_fat.time_s
+
+
+class TestMetrics:
+    def test_throughput_percentages_bounded(self, engine, rtx4090):
+        t = engine.time_kernel(
+            _kernel(rtx4090), _workload(global_bytes=1e4), LaunchConfig(1024, 256)
+        )
+        assert 0 <= t.compute_throughput_pct <= 100
+        assert 0 <= t.memory_throughput_pct <= 100
+        assert 0 < t.achieved_occupancy <= 1.0
+
+    def test_achieved_occupancy_below_theoretical(self, engine, rtx4090):
+        t = engine.time_kernel(
+            _kernel(rtx4090), _workload(syncs=100), LaunchConfig(1024, 256)
+        )
+        assert t.achieved_occupancy <= t.occupancy.theoretical + 1e-9
+
+    def test_compute_bound_kernel_reports_high_compute(self, engine, rtx4090):
+        t = engine.time_kernel(
+            _kernel(rtx4090), _workload(hash_total=1e5, threads=256),
+            LaunchConfig(2048, 256),
+        )
+        assert t.compute_throughput_pct > 50

@@ -1,0 +1,105 @@
+"""Cross-cutting property tests on the GPU model: conservation laws and
+monotonicities that must hold for the benchmark results to be meaningful."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.calibration import Calibration
+from repro.gpusim.compiler import Branch, CompilerModel
+from repro.gpusim.device import get_device
+from repro.gpusim.engine import TimingEngine
+from repro.gpusim.kernel import KernelWorkload, LaunchConfig, WorkloadPhase
+from repro.gpusim.stream import Timeline, _water_fill
+from repro.params import get_params
+
+
+def _simple_kernel(device, overhead=300.0):
+    return CompilerModel(per_hash_overhead=overhead).compile(
+        "FORS_Sign", get_params("128f"), device, Branch.NATIVE
+    )
+
+
+def _workload(hashes, threads):
+    return KernelWorkload("FORS_Sign", [
+        WorkloadPhase("w", float(hashes), 4.0, threads)
+    ])
+
+
+class TestEngineProperties:
+    @given(
+        hashes=st.integers(1_000, 200_000),
+        grid=st.integers(64, 4096),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_time_scales_superlinearly_never(self, hashes, grid):
+        """Doubling the grid at most doubles (plus rounding) the time."""
+        engine = TimingEngine()
+        dev = get_device("RTX 4090")
+        kern = _simple_kernel(dev)
+        wl = _workload(hashes, 256)
+        t1 = engine.time_kernel(kern, wl, LaunchConfig(grid, 256)).time_s
+        t2 = engine.time_kernel(kern, wl, LaunchConfig(2 * grid, 256)).time_s
+        assert t2 <= 2.0 * t1 * 1.6  # wave rounding slack
+        assert t2 >= t1
+
+    @given(hashes=st.integers(10_000, 100_000))
+    @settings(max_examples=20, deadline=None)
+    def test_faster_clock_is_never_slower(self, hashes):
+        """RTX 4090's clock advantage must show (the paper's §IV-F
+        frequency argument)."""
+        engine = TimingEngine()
+        wl = _workload(hashes, 256)
+        ada = get_device("RTX 4090")
+        hopper = get_device("H100")
+        # Equal per-SM work: the per-SM rate difference is the clock.
+        t_ada = engine.time_kernel(
+            _simple_kernel(ada), wl, LaunchConfig(ada.num_sms * 2, 256)).time_s
+        t_hop = engine.time_kernel(
+            _simple_kernel(hopper), wl,
+            LaunchConfig(hopper.num_sms * 2, 256)).time_s
+        assert t_ada < t_hop
+
+    @given(overhead=st.floats(0, 3000, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_overhead_monotone(self, overhead):
+        engine = TimingEngine()
+        dev = get_device("RTX 4090")
+        wl = _workload(50_000, 256)
+        launch = LaunchConfig(1024, 256)
+        lean = engine.time_kernel(_simple_kernel(dev, 0.0), wl, launch).time_s
+        heavy = engine.time_kernel(
+            _simple_kernel(dev, overhead), wl, launch).time_s
+        assert heavy >= lean
+
+
+class TestTimelineConservation:
+    @given(
+        works=st.lists(st.floats(1e-5, 1e-2), min_size=1, max_size=6),
+        demands=st.lists(st.floats(0.1, 1.0), min_size=6, max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, works, demands):
+        """Concurrent execution can never beat total machine-seconds nor
+        exceed the serial sum (plus overheads)."""
+        dev = get_device("RTX 4090")
+        cal = Calibration()
+        tl = Timeline(dev, cal)
+        for i, work in enumerate(works):
+            tl.launch(tl.stream(f"s{i}"), f"k{i}", work, demand=demands[i])
+        result = tl.run()
+        machine_seconds = sum(w * d for w, d in zip(works, demands))
+        serial = sum(works)
+        slack = len(works) * cal.kernel_launch_us * 1e-6 + 1e-9
+        assert result.makespan_s >= machine_seconds - 1e-12
+        assert result.makespan_s <= serial + slack
+
+    @given(demands=st.lists(st.floats(0.05, 1.0), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_water_fill_invariants(self, demands):
+        shares = _water_fill(demands)
+        assert sum(shares) <= 1.0 + 1e-9
+        for share, demand in zip(shares, demands):
+            assert 0.0 <= share <= demand + 1e-9
+        # Work-conserving: either everyone is satisfied or capacity is full.
+        if any(s < d - 1e-9 for s, d in zip(shares, demands)):
+            assert sum(shares) == pytest.approx(1.0)

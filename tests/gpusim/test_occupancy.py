@@ -1,0 +1,109 @@
+"""Occupancy-rule tests, anchored on the configurations the paper reports."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LaunchConfigError
+from repro.gpusim.device import get_device
+from repro.gpusim.occupancy import occupancy, paper_occupancy_eq1
+
+
+class TestLimits:
+    def test_thread_limited(self, rtx4090):
+        # 1024-thread blocks: at most one fits in 1536 threads/SM.
+        occ = occupancy(rtx4090, 1024, 32, 0)
+        assert occ.blocks_per_sm == 1
+        assert occ.limited_by == "threads"
+
+    def test_register_limited(self, rtx4090):
+        # 256 threads x 128 regs: 65536/(128*32 regs/warp rounded) = 16 warps.
+        occ = occupancy(rtx4090, 256, 128, 0)
+        assert occ.limited_by == "registers"
+        assert occ.active_warps == 16
+
+    def test_shared_memory_limited(self, rtx4090):
+        occ = occupancy(rtx4090, 64, 32, 48 * 1024)
+        assert occ.limited_by == "shared_memory"
+        assert occ.blocks_per_sm == 2  # 100 KB / 48 KB
+
+    def test_block_limited(self, rtx4090):
+        occ = occupancy(rtx4090, 32, 16, 0)
+        assert occ.blocks_per_sm == rtx4090.max_blocks_per_sm
+
+
+class TestPaperAnchors:
+    """Configurations whose occupancies the paper quotes."""
+
+    def test_tree_sign_256f_native(self, rtx4090):
+        """272 threads x 168 regs: the paper reports 19% -> our 18.75%."""
+        occ = occupancy(rtx4090, 272, 168, 0)
+        assert occ.theoretical == pytest.approx(0.1875, abs=0.01)
+
+    def test_tree_sign_256f_ptx(self, rtx4090):
+        """272 threads x 95 regs: the paper reports 37.5% exactly."""
+        occ = occupancy(rtx4090, 272, 95, 0)
+        assert occ.theoretical == pytest.approx(0.375, abs=0.01)
+
+    def test_tree_sign_128f_native(self, rtx4090):
+        """176 threads x 128 regs -> 25% (paper Table III)."""
+        occ = occupancy(rtx4090, 176, 128, 0)
+        assert occ.theoretical == pytest.approx(0.25, abs=0.01)
+
+    def test_fors_sign_128f_baseline(self, rtx4090):
+        """64 threads x 64 regs -> 66.67% theoretical (paper Table III)."""
+        occ = occupancy(rtx4090, 64, 64, 0)
+        assert occ.theoretical == pytest.approx(0.6667, abs=0.01)
+
+
+class TestValidation:
+    def test_oversized_block_rejected(self, rtx4090):
+        with pytest.raises(LaunchConfigError):
+            occupancy(rtx4090, 2048, 32, 0)
+
+    def test_oversized_registers_rejected(self, rtx4090):
+        with pytest.raises(LaunchConfigError):
+            occupancy(rtx4090, 128, 256, 0)
+
+    def test_oversized_smem_rejected(self, rtx4090):
+        with pytest.raises(LaunchConfigError):
+            occupancy(rtx4090, 128, 32, 100 * 1024)
+
+    def test_unlaunchable_config_rejected(self, rtx4090):
+        # 1024 threads x 255 regs cannot fit the register file at all.
+        with pytest.raises(LaunchConfigError, match="cannot fit"):
+            occupancy(rtx4090, 1024, 255, 0)
+
+
+class TestEquation1:
+    def test_matches_paper_formula(self, rtx4090):
+        # Occupancy = (1/Wmax) * floor(Rtotal/(Rthread*Tblock)) * Tblock/32
+        value = paper_occupancy_eq1(rtx4090, 256, 128)
+        expected = (65536 // (128 * 256)) * (256 // 32) / 48
+        assert value == pytest.approx(expected)
+
+    def test_eq1_upper_bounds_full_model(self, rtx4090):
+        """Eq. 1 ignores allocation granularity, so it can only be >= the
+        full calculation (for register-limited launches)."""
+        for regs in (64, 96, 128, 168):
+            full = occupancy(rtx4090, 256, regs, 0)
+            assert paper_occupancy_eq1(rtx4090, 256, regs) >= full.theoretical - 1e-9
+
+
+class TestProperties:
+    @given(
+        threads=st.integers(32, 1024),
+        regs=st.integers(16, 128),
+        smem=st.integers(0, 48 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_bounds_and_monotonicity(self, threads, regs, smem):
+        dev = get_device("RTX 4090")
+        try:
+            occ = occupancy(dev, threads, regs, smem)
+        except LaunchConfigError:
+            return
+        assert 0 < occ.theoretical <= 1.0
+        assert occ.active_warps <= dev.max_warps_per_sm
+        # Using fewer registers can never reduce occupancy.
+        lighter = occupancy(dev, threads, max(16, regs // 2), smem)
+        assert lighter.blocks_per_sm >= occ.blocks_per_sm

@@ -1,0 +1,91 @@
+"""ADRS structure and serialization tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressError
+from repro.hashes.address import Address, AddressType
+
+
+class TestSerialization:
+    def test_full_form_is_32_bytes(self):
+        assert len(Address().to_bytes()) == 32
+
+    def test_compressed_form_is_22_bytes(self):
+        assert len(Address().compressed()) == 22
+
+    def test_compressed_layout(self):
+        adrs = Address().set_layer(3).set_tree(0x0102030405060708)
+        adrs.set_type(AddressType.FORS_TREE)
+        adrs.set_keypair(7)
+        blob = adrs.compressed()
+        assert blob[0] == 3
+        assert blob[1:9] == bytes.fromhex("0102030405060708")
+        assert blob[9] == AddressType.FORS_TREE
+        assert int.from_bytes(blob[10:14], "big") == 7
+
+    def test_distinct_addresses_serialize_differently(self):
+        a = Address().set_tree(1)
+        b = Address().set_tree(2)
+        assert a.compressed() != b.compressed()
+        assert a.to_bytes() != b.to_bytes()
+
+
+class TestSemantics:
+    def test_set_type_zeroes_words(self):
+        adrs = Address().set_keypair(5).set_chain(6).set_hash(7)
+        adrs.set_type(AddressType.WOTS_PRF)
+        assert (adrs.word1, adrs.word2, adrs.word3) == (0, 0, 0)
+
+    def test_tree_and_wots_views_share_storage(self):
+        adrs = Address()
+        adrs.set_tree_height(4)
+        assert adrs.word2 == 4
+        adrs.set_chain(9)
+        assert adrs.tree_height == 9
+
+    def test_copy_is_independent(self):
+        a = Address().set_layer(1).set_keypair(2)
+        b = a.copy()
+        b.set_keypair(3)
+        assert a.keypair == 2
+        assert b.keypair == 3
+        assert a != b
+
+    def test_equality_and_hash(self):
+        a = Address().set_tree(5).set_keypair(1)
+        b = Address().set_tree(5).set_keypair(1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != object()  # __eq__ returns NotImplemented -> False
+
+
+class TestValidation:
+    def test_layer_range(self):
+        with pytest.raises(AddressError):
+            Address().set_layer(256)
+
+    def test_tree_range(self):
+        with pytest.raises(AddressError):
+            Address().set_tree(1 << 64)
+
+    def test_word_range(self):
+        with pytest.raises(AddressError):
+            Address().set_keypair(1 << 32)
+
+    @given(
+        layer=st.integers(0, 255),
+        tree=st.integers(0, (1 << 64) - 1),
+        type_=st.sampled_from(list(AddressType)),
+        words=st.tuples(*[st.integers(0, (1 << 32) - 1)] * 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_uniqueness(self, layer, tree, type_, words):
+        adrs = Address().set_layer(layer).set_tree(tree)
+        adrs.set_type(type_)
+        adrs.set_keypair(words[0])
+        adrs.set_chain(words[1])
+        adrs.set_hash(words[2])
+        dup = adrs.copy()
+        assert dup == adrs
+        assert dup.compressed() == adrs.compressed()

@@ -1,0 +1,107 @@
+"""FORS component tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignatureFormatError
+from repro.hashes.address import Address, AddressType
+from repro.hashes.thash import HashContext
+from repro.params import get_params
+from repro.sphincs.fors import Fors
+
+PK_SEED = b"P" * 16
+SK_SEED = b"S" * 16
+
+
+def _fors():
+    return Fors(HashContext(get_params("128f")))
+
+
+def _adrs(keypair=0, tree=0):
+    adrs = Address().set_layer(0).set_tree(tree)
+    adrs.set_type(AddressType.FORS_TREE)
+    adrs.set_keypair(keypair)
+    return adrs
+
+
+def _msg(params, fill=0x5A):
+    return bytes([fill]) * params.fors_msg_bytes
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        sig, pk = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        assert fors.pk_from_sig(sig, msg, PK_SEED, _adrs()) == pk
+
+    def test_signature_structure(self):
+        fors = _fors()
+        params = fors.params
+        sig, _ = fors.sign(_msg(params), SK_SEED, PK_SEED, _adrs())
+        assert len(sig) == params.k
+        for secret, path in sig:
+            assert len(secret) == params.n
+            assert len(path) == params.log_t
+
+    def test_wrong_message_gives_different_pk(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        sig, pk = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        other = bytes([0x5B]) + msg[1:]
+        assert fors.pk_from_sig(sig, other, PK_SEED, _adrs()) != pk
+
+    def test_tampered_secret_gives_different_pk(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        sig, pk = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        sig[0] = (bytes(16), sig[0][1])
+        assert fors.pk_from_sig(sig, msg, PK_SEED, _adrs()) != pk
+
+    def test_tampered_auth_path_gives_different_pk(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        sig, pk = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        secret, path = sig[5]
+        sig[5] = (secret, [bytes(16)] + path[1:])
+        assert fors.pk_from_sig(sig, msg, PK_SEED, _adrs()) != pk
+
+    @given(st.binary(min_size=25, max_size=25))
+    @settings(max_examples=5, deadline=None)
+    def test_roundtrip_random_messages(self, msg):
+        fors = _fors()
+        sig, pk = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        assert fors.pk_from_sig(sig, msg, PK_SEED, _adrs()) == pk
+
+
+class TestDomainSeparation:
+    def test_keypair_separates(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        _, pk_a = fors.sign(msg, SK_SEED, PK_SEED, _adrs(keypair=0))
+        _, pk_b = fors.sign(msg, SK_SEED, PK_SEED, _adrs(keypair=1))
+        assert pk_a != pk_b
+
+    def test_hypertree_position_separates(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        _, pk_a = fors.sign(msg, SK_SEED, PK_SEED, _adrs(tree=0))
+        _, pk_b = fors.sign(msg, SK_SEED, PK_SEED, _adrs(tree=1))
+        assert pk_a != pk_b
+
+
+class TestValidation:
+    def test_wrong_tree_count_rejected(self):
+        fors = _fors()
+        with pytest.raises(SignatureFormatError, match="tree entries"):
+            fors.pk_from_sig([(b"x" * 16, [b"y" * 16] * 6)], _msg(fors.params),
+                             PK_SEED, _adrs())
+
+    def test_wrong_path_length_rejected(self):
+        fors = _fors()
+        msg = _msg(fors.params)
+        sig, _ = fors.sign(msg, SK_SEED, PK_SEED, _adrs())
+        secret, path = sig[0]
+        sig[0] = (secret, path[:-1])
+        with pytest.raises(SignatureFormatError, match="auth path"):
+            fors.pk_from_sig(sig, msg, PK_SEED, _adrs())

@@ -1,0 +1,88 @@
+"""Hypertree tests on a reduced parameter set for speed, plus one spot
+check on real 128f geometry."""
+
+import pytest
+
+from repro.errors import SignatureFormatError
+from repro.hashes.thash import HashContext
+from repro.params import SphincsParams, get_params
+from repro.sphincs.hypertree import Hypertree
+
+# A miniature but fully valid parameter set: 3 layers of height-2 subtrees.
+TINY = SphincsParams("tiny", 16, 6, 3, 3, 4, 16)
+
+PK_SEED = b"P" * 16
+SK_SEED = b"S" * 16
+
+
+@pytest.fixture(scope="module")
+def tiny_ht():
+    return Hypertree(HashContext(TINY))
+
+
+@pytest.fixture(scope="module")
+def tiny_root(tiny_ht):
+    return tiny_ht.root(SK_SEED, PK_SEED)
+
+
+class TestRoot:
+    def test_root_deterministic(self, tiny_ht, tiny_root):
+        assert tiny_ht.root(SK_SEED, PK_SEED) == tiny_root
+
+    def test_root_depends_on_seeds(self, tiny_ht, tiny_root):
+        assert tiny_ht.root(b"T" * 16, PK_SEED) != tiny_root
+        assert tiny_ht.root(SK_SEED, b"Q" * 16) != tiny_root
+
+
+class TestSignVerify:
+    @pytest.mark.parametrize("idx_tree, idx_leaf", [(0, 0), (5, 3), (15, 1)])
+    def test_roundtrip_various_positions(self, tiny_ht, tiny_root, idx_tree,
+                                         idx_leaf):
+        msg = b"m" * 16
+        sig, root = tiny_ht.sign(msg, SK_SEED, PK_SEED, idx_tree, idx_leaf)
+        assert root == tiny_root
+        assert tiny_ht.pk_from_sig(sig, msg, PK_SEED, idx_tree, idx_leaf) == tiny_root
+
+    def test_layer_count(self, tiny_ht):
+        sig, _ = tiny_ht.sign(b"m" * 16, SK_SEED, PK_SEED, 2, 1)
+        assert len(sig) == TINY.d
+        for chains, path in sig:
+            assert len(chains) == TINY.wots_len
+            assert len(path) == TINY.tree_height
+
+    def test_wrong_message_fails(self, tiny_ht, tiny_root):
+        sig, _ = tiny_ht.sign(b"m" * 16, SK_SEED, PK_SEED, 3, 2)
+        assert tiny_ht.pk_from_sig(sig, b"x" * 16, PK_SEED, 3, 2) != tiny_root
+
+    def test_wrong_position_fails(self, tiny_ht, tiny_root):
+        sig, _ = tiny_ht.sign(b"m" * 16, SK_SEED, PK_SEED, 3, 2)
+        assert tiny_ht.pk_from_sig(sig, b"m" * 16, PK_SEED, 4, 2) != tiny_root
+
+    def test_tampered_auth_path_fails(self, tiny_ht, tiny_root):
+        sig, _ = tiny_ht.sign(b"m" * 16, SK_SEED, PK_SEED, 1, 1)
+        chains, path = sig[1]
+        sig[1] = (chains, [bytes(16)] + path[1:])
+        assert tiny_ht.pk_from_sig(sig, b"m" * 16, PK_SEED, 1, 1) != tiny_root
+
+
+class TestValidation:
+    def test_wrong_layer_count_rejected(self, tiny_ht):
+        with pytest.raises(SignatureFormatError, match="layers"):
+            tiny_ht.pk_from_sig([], b"m" * 16, PK_SEED, 0, 0)
+
+    def test_wrong_path_length_rejected(self, tiny_ht):
+        sig, _ = tiny_ht.sign(b"m" * 16, SK_SEED, PK_SEED, 0, 0)
+        chains, path = sig[0]
+        sig[0] = (chains, path[:-1])
+        with pytest.raises(SignatureFormatError, match="auth path"):
+            tiny_ht.pk_from_sig(sig, b"m" * 16, PK_SEED, 0, 0)
+
+
+class TestRealGeometry:
+    def test_128f_single_layer_roundtrip(self):
+        """One real 128f hypertree walk (22 layers of height 3)."""
+        ht = Hypertree(HashContext(get_params("128f")))
+        msg = b"r" * 16
+        sig, root = ht.sign(msg, SK_SEED, PK_SEED, idx_tree=12345, idx_leaf=5)
+        assert ht.pk_from_sig(sig, msg, PK_SEED, 12345, 5) == root
+        assert root == ht.root(SK_SEED, PK_SEED)

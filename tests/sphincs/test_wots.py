@@ -1,0 +1,116 @@
+"""WOTS+ component tests: chain algebra, sign/verify, tamper rejection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SignatureFormatError
+from repro.hashes.address import Address, AddressType
+from repro.hashes.thash import HashContext
+from repro.params import get_params
+from repro.sphincs.wots import Wots
+
+PK_SEED = b"P" * 16
+SK_SEED = b"S" * 16
+
+
+@pytest.fixture
+def wots():
+    return Wots(HashContext(get_params("128f")))
+
+
+def _adrs(keypair=0):
+    adrs = Address().set_layer(0).set_tree(0)
+    adrs.set_type(AddressType.WOTS_HASH)
+    adrs.set_keypair(keypair)
+    return adrs
+
+
+class TestChain:
+    def test_zero_steps_is_identity(self, wots):
+        value = b"v" * 16
+        assert wots.chain(value, 0, 0, PK_SEED, _adrs()) == value
+
+    def test_chain_composes(self, wots):
+        """chain(x, 0, a+b) == chain(chain(x, 0, a), a, b)."""
+        value = b"v" * 16
+        full = wots.chain(value, 0, 9, PK_SEED, _adrs())
+        first = wots.chain(value, 0, 4, PK_SEED, _adrs())
+        rest = wots.chain(first, 4, 5, PK_SEED, _adrs())
+        assert full == rest
+
+    @given(a=st.integers(0, 7), b=st.integers(0, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_chain_composition_property(self, a, b):
+        wots = Wots(HashContext(get_params("128f")))
+        value = b"q" * 16
+        assert wots.chain(value, 0, a + b, PK_SEED, _adrs()) == wots.chain(
+            wots.chain(value, 0, a, PK_SEED, _adrs()), a, b, PK_SEED, _adrs()
+        )
+
+    def test_chain_position_matters(self, wots):
+        value = b"v" * 16
+        assert wots.chain(value, 0, 1, PK_SEED, _adrs()) != wots.chain(
+            value, 1, 1, PK_SEED, _adrs()
+        )
+
+
+class TestSignVerify:
+    def test_pk_from_sig_matches_gen_leaf(self, wots):
+        message = bytes(range(16))
+        leaf = wots.gen_leaf(SK_SEED, PK_SEED, _adrs())
+        sig = wots.sign(message, SK_SEED, PK_SEED, _adrs())
+        assert wots.pk_from_sig(sig, message, PK_SEED, _adrs()) == leaf
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_random_messages(self, message):
+        wots = Wots(HashContext(get_params("128f")))
+        leaf = wots.gen_leaf(SK_SEED, PK_SEED, _adrs())
+        sig = wots.sign(message, SK_SEED, PK_SEED, _adrs())
+        assert wots.pk_from_sig(sig, message, PK_SEED, _adrs()) == leaf
+
+    def test_wrong_message_fails(self, wots):
+        leaf = wots.gen_leaf(SK_SEED, PK_SEED, _adrs())
+        sig = wots.sign(b"\x00" * 16, SK_SEED, PK_SEED, _adrs())
+        recovered = wots.pk_from_sig(sig, b"\x01" + b"\x00" * 15, PK_SEED, _adrs())
+        assert recovered != leaf
+
+    def test_tampered_chain_value_fails(self, wots):
+        message = b"m" * 16
+        leaf = wots.gen_leaf(SK_SEED, PK_SEED, _adrs())
+        sig = wots.sign(message, SK_SEED, PK_SEED, _adrs())
+        sig[0] = bytes(16)
+        assert wots.pk_from_sig(sig, message, PK_SEED, _adrs()) != leaf
+
+    def test_different_keypairs_have_different_leaves(self, wots):
+        assert wots.gen_leaf(SK_SEED, PK_SEED, _adrs(0)) != wots.gen_leaf(
+            SK_SEED, PK_SEED, _adrs(1)
+        )
+
+    def test_signature_structure(self, wots):
+        sig = wots.sign(b"m" * 16, SK_SEED, PK_SEED, _adrs())
+        params = get_params("128f")
+        assert len(sig) == params.wots_len
+        assert all(len(chunk) == params.n for chunk in sig)
+
+
+class TestValidation:
+    def test_sign_wrong_message_length(self, wots):
+        with pytest.raises(SignatureFormatError, match="exactly n"):
+            wots.sign(b"short", SK_SEED, PK_SEED, _adrs())
+
+    def test_pk_from_sig_wrong_chain_count(self, wots):
+        with pytest.raises(SignatureFormatError, match="chain values"):
+            wots.pk_from_sig([b"x" * 16], b"m" * 16, PK_SEED, _adrs())
+
+
+class TestAcrossParameterSets:
+    @pytest.mark.parametrize("alias", ["192f", "256f"])
+    def test_roundtrip(self, alias):
+        params = get_params(alias)
+        wots = Wots(HashContext(params))
+        sk, pk = b"S" * params.n, b"P" * params.n
+        message = bytes(range(params.n))
+        leaf = wots.gen_leaf(sk, pk, _adrs())
+        sig = wots.sign(message, sk, pk, _adrs())
+        assert wots.pk_from_sig(sig, message, pk, _adrs()) == leaf

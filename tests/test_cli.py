@@ -1,0 +1,39 @@
+"""CLI smoke tests (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_tune(self, capsys):
+        assert main(["tune", "--params", "128f", "--device", "RTX 4090"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion F      : 3" in out
+        assert "threads/block : 704" in out
+
+    def test_tune_relax(self, capsys):
+        assert main(["tune", "--params", "256f"]) == 0
+        assert "relax-FORS    : True" in capsys.readouterr().out
+
+    def test_model(self, capsys):
+        assert main(["model", "--params", "128f", "--messages", "256",
+                     "--batches", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "graph" in out and "KOPS" in out
+
+    def test_sign_deterministic(self, capsys):
+        assert main(["sign", "--params", "128f", "--deterministic",
+                     "--message", "cli test"]) == 0
+        out = capsys.readouterr().out
+        assert "signature     : 17088 bytes" in out
+        assert "self-verify   : True" in out
+
+    def test_sign_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "sig.bin"
+        assert main(["sign", "--deterministic", "--out", str(out_file)]) == 0
+        assert out_file.stat().st_size == 17088
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
