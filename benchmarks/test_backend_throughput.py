@@ -1,0 +1,75 @@
+"""Scalar vs vectorized backend throughput — the runtime's perf baseline.
+
+Not a paper table: honest wall-clock numbers for the two CPU backends on
+the same 64-message batch, recorded as JSON next to the other results so
+future PRs (sharding, async, new devices) have a baseline to beat.
+
+The acceptance bar for the vectorized backend is >= 1.5x scalar sig/s;
+measured speedups are ~3x (address templates + shared midstates + the
+cross-batch subtree memo), so the assertion has generous headroom.
+"""
+
+import json
+import pathlib
+
+from repro.runtime import get_backend
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BATCH = 64
+SEED = bytes(48)
+
+
+def test_scalar_vs_vectorized_64_batch(emit):
+    messages = [f"throughput message {i}".encode() for i in range(BATCH)]
+
+    scalar = get_backend("scalar", "128f", deterministic=True)
+    vectorized = get_backend("vectorized", "128f", deterministic=True)
+    keys = scalar.keygen(seed=SEED)
+
+    result_scalar = scalar.sign_batch(messages, keys)
+    result_vector = vectorized.sign_batch(messages, keys)
+
+    # Same bytes, different speed — the whole point of the backend split.
+    assert result_scalar.signatures == result_vector.signatures
+
+    ratio = result_vector.sigs_per_s / result_scalar.sigs_per_s
+    assert ratio >= 1.5, (
+        f"vectorized backend must be >= 1.5x scalar on a {BATCH}-message "
+        f"batch, measured {ratio:.2f}x"
+    )
+
+    record = {
+        "params": "SPHINCS+-128f",
+        "batch": BATCH,
+        "scalar": {
+            "elapsed_s": round(result_scalar.elapsed_s, 4),
+            "sigs_per_s": round(result_scalar.sigs_per_s, 4),
+            "stage_seconds": {k: round(v, 4) for k, v
+                              in result_scalar.stage_seconds.items()},
+        },
+        "vectorized": {
+            "elapsed_s": round(result_vector.elapsed_s, 4),
+            "sigs_per_s": round(result_vector.sigs_per_s, 4),
+            "stage_seconds": {k: round(v, 4) for k, v
+                              in result_vector.stage_seconds.items()},
+            "subtree_cache": result_vector.cache_stats,
+        },
+        "speedup": round(ratio, 4),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "backend_throughput.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    from repro.analysis import format_table
+
+    emit("backend_throughput", format_table(
+        ["backend", "batch", "wall s", "sig/s", "speedup"],
+        [
+            ["scalar", BATCH, round(result_scalar.elapsed_s, 2),
+             round(result_scalar.sigs_per_s, 2), "1.00x"],
+            ["vectorized", BATCH, round(result_vector.elapsed_s, 2),
+             round(result_vector.sigs_per_s, 2), f"{ratio:.2f}x"],
+        ],
+        title=f"Backend throughput, {BATCH}-message batch, SPHINCS+-128f",
+    ))

@@ -1,0 +1,9 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy editable installs (``pip install -e . --no-use-pep517``,
+offline environments without the ``wheel`` package) still work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -10,6 +10,11 @@ Layers
     A complete functional SPHINCS+ (SHA-256 simple instantiation): real
     key generation, signing and verification for the 128f/192f/256f (and
     -s) parameter sets.
+``repro.runtime``
+    The unified batch-signing runtime: a pluggable ``SigningBackend``
+    interface (scalar / vectorized / modeled-gpu) with first-class
+    ``sign_batch`` APIs, and the ``BatchScheduler`` service layer that
+    queues, routes, and accounts a message stream.
 ``repro.gpusim``
     An analytical GPU performance model — device catalog, occupancy, a
     compiler model with native/PTX SHA-256 branches, exact shared-memory
@@ -36,6 +41,7 @@ from .errors import (
     ReproError,
     ParameterError,
     AddressError,
+    BackendError,
     SignatureFormatError,
     GpuModelError,
     LaunchConfigError,
@@ -43,6 +49,15 @@ from .errors import (
     TuningError,
     GraphError,
 )
+
+
+def __getattr__(name: str):
+    # Lazy: the runtime pulls in the scheduler/backends only when asked for.
+    if name == "runtime":
+        import importlib
+
+        return importlib.import_module(".runtime", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -58,6 +73,8 @@ __all__ = [
     "ReproError",
     "ParameterError",
     "AddressError",
+    "BackendError",
+    "runtime",
     "SignatureFormatError",
     "GpuModelError",
     "LaunchConfigError",

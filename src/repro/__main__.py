@@ -4,6 +4,10 @@ Commands
 --------
 sign / verify
     Exercise the functional SPHINCS+ layer on real files.
+serve
+    Drive the batch-signing runtime end-to-end: queue messages through
+    the BatchScheduler, sign them on the selected backends, and report
+    per-backend throughput.
 tune
     Run the Tree Tuning search for a parameter set and device.
 model
@@ -35,6 +39,34 @@ def _cmd_sign(args: argparse.Namespace) -> int:
         with open(args.out, "wb") as handle:
             handle.write(signature)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import BatchScheduler
+
+    if args.messages < 1:
+        print("serve: --messages must be >= 1", file=sys.stderr)
+        return 2
+    if args.batch_size < 0:
+        print("serve: --batch-size must be >= 0", file=sys.stderr)
+        return 2
+    scheduler = BatchScheduler(
+        target_batch_size=args.batch_size or args.messages,
+        deterministic=args.deterministic,
+        verify=args.verify,
+    )
+    for params in args.params.split(","):
+        for backend in args.backends.split(","):
+            scheduler.run(
+                (f"{params}/{backend}/msg{i}".encode()
+                 for i in range(args.messages)),
+                params=params.strip(), backend=backend.strip(),
+            )
+    print(scheduler.report(
+        title=f"Batch signing runtime, {args.messages} messages per "
+              f"(set, backend)"
+    ))
     return 0
 
 
@@ -100,6 +132,21 @@ def main(argv: list[str] | None = None) -> int:
     p_sign.add_argument("--out", default=None)
     p_sign.add_argument("--deterministic", action="store_true")
     p_sign.set_defaults(func=_cmd_sign)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the batch-signing runtime end-to-end")
+    p_serve.add_argument("--params", default="128f",
+                         help="comma-separated parameter sets")
+    p_serve.add_argument("--backends", default="vectorized",
+                         help="comma-separated backend names")
+    p_serve.add_argument("--messages", type=int, default=4,
+                         help="messages per (set, backend)")
+    p_serve.add_argument("--batch-size", type=int, default=0,
+                         help="scheduler target batch size (default: all)")
+    p_serve.add_argument("--deterministic", action="store_true")
+    p_serve.add_argument("--verify", action="store_true",
+                         help="verify every batch after signing")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_tune = sub.add_parser("tune", help="run the Tree Tuning search")
     p_tune.add_argument("--params", default="128f")

@@ -25,6 +25,10 @@ class SignatureFormatError(ReproError, ValueError):
     """A serialized signature or key has the wrong length or structure."""
 
 
+class BackendError(ReproError):
+    """An unknown, misconfigured, or misused signing-runtime backend."""
+
+
 class GpuModelError(ReproError):
     """Base class for GPU-simulator configuration/usage errors."""
 

@@ -14,11 +14,12 @@ mirror that flow.
 from __future__ import annotations
 
 import enum
+import functools
 import struct
 
 from ..errors import AddressError
 
-__all__ = ["AddressType", "Address"]
+__all__ = ["AddressType", "Address", "AddressTemplate", "packed_u32"]
 
 
 class AddressType(enum.IntEnum):
@@ -35,6 +36,45 @@ class AddressType(enum.IntEnum):
 
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+@functools.lru_cache(maxsize=65536)
+def packed_u32(value: int) -> bytes:
+    """Big-endian 4-byte encoding of *value*, memoized.
+
+    The hot signing loops re-encode the same small word values (chain
+    indices, hash positions, tree heights, leaf indices) millions of times;
+    caching the packed bytes removes the per-call ``struct.pack`` cost.
+    """
+    return struct.pack(">I", value)
+
+
+class AddressTemplate:
+    """Precomputed compressed-ADRS byte fragments for hot hash loops.
+
+    A template freezes the slowly-varying part of a compressed address —
+    layer, tree, type and optionally the leading words — so an inner loop
+    can form the full 22-byte compressed ADRS by appending cached 4-byte
+    words to :attr:`prefix` instead of re-packing all six fields per hash
+    call (see ``repro.runtime.fastops`` for the consuming loops).
+    """
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, layer: int, tree: int, type_: AddressType,
+                 *words: int):
+        if not 0 <= layer <= 0xFF:
+            raise AddressError(f"layer {layer} out of range for compressed ADRS")
+        if not 0 <= tree <= _MASK64:
+            raise AddressError(f"tree index {tree} exceeds 64 bits")
+        if len(words) > 3:
+            raise AddressError("an ADRS has only three trailing words")
+        self.prefix = (
+            bytes([layer])
+            + struct.pack(">Q", tree)
+            + bytes([int(AddressType(type_))])
+            + b"".join(packed_u32(w) for w in words)
+        )
 
 
 class Address:

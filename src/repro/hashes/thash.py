@@ -54,6 +54,10 @@ class HashContext:
         (by the number of SHA-256 compression invocations beyond the cached
         seed midstate), letting tests cross-check the analytical workload
         model against ground truth.
+    The midstate cache is shared *through* the context object:
+    :meth:`midstate` exposes the primed seed-block hash, which is how the
+    runtime's fast-path loops (``repro.runtime.fastops``) sign every
+    message of a batch off the same precomputation as the scalar code.
     """
 
     def __init__(self, params: SphincsParams, count_hashes: bool = False):
@@ -67,13 +71,23 @@ class HashContext:
     def reset_counter(self) -> None:
         self.hash_calls = 0
 
-    def _seeded(self, seed: bytes) -> "hashlib._Hash":
-        """A SHA-256 object primed with ``seed || pad`` (cached midstate)."""
+    def midstate(self, seed: bytes) -> "hashlib._Hash":
+        """The cached SHA-256 object primed with ``seed || pad``.
+
+        Callers must ``.copy()`` before updating; the returned object is the
+        shared cache entry.  This is the hook the vectorized runtime backend
+        uses to run its template-based hot loops off the same midstate cache
+        as the scalar code.
+        """
         state = self._midstates.get(seed)
         if state is None:
             state = hashlib.sha256(seed + b"\x00" * (_BLOCK - len(seed)))
             self._midstates[seed] = state
-        return state.copy()
+        return state
+
+    def _seeded(self, seed: bytes) -> "hashlib._Hash":
+        """A SHA-256 object primed with ``seed || pad`` (cached midstate)."""
+        return self.midstate(seed).copy()
 
     def _tally(self, message_bytes: int) -> None:
         if self._count:

@@ -1,0 +1,48 @@
+"""The scalar reference backend: the plain functional layer, batched.
+
+This is the correctness anchor of the runtime — it drives the refactored
+:class:`Sphincs` stages one message at a time with no caching beyond the
+hash midstate the functional layer always had.  Every other backend is
+validated (and benchmarked) against it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..params import SphincsParams
+from ..sphincs.signer import KeyPair
+from .backend import BackendCapabilities, BatchSignResult, SigningBackend
+
+__all__ = ["ScalarBackend"]
+
+
+class ScalarBackend(SigningBackend):
+    """One-message-at-a-time signing through the reference stages."""
+
+    name = "scalar"
+
+    def __init__(self, params: SphincsParams | str,
+                 deterministic: bool = False):
+        super().__init__(params, deterministic=deterministic)
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name=self.name,
+            kind="cpu",
+            vectorized=False,
+            deterministic=self.deterministic,
+            preferred_batch=1,
+            notes="reference functional layer; correctness baseline",
+        )
+
+    def sign_batch(self, messages: Sequence[bytes],
+                   keys: KeyPair) -> BatchSignResult:
+        started = time.perf_counter()
+        scheme = self._scheme
+        return self._staged_sign(
+            messages, keys, started,
+            lambda task: scheme.fors_stage(task, keys),
+            lambda task, fors_pk: scheme.hypertree_stage(task, keys, fors_pk),
+        )

@@ -1,0 +1,267 @@
+"""The throughput service layer: queueing, routing, per-batch statistics.
+
+:class:`BatchScheduler` is what a signing *service* fronts the runtime
+with.  Callers submit individual messages and get tickets back; the
+scheduler groups them into per-(parameter set, backend) queues, dispatches
+a backend's ``sign_batch`` whenever a queue reaches its target size, and
+keeps per-batch statistics (wall time, sig/s, cache hits, modeled KOPS)
+for reporting.  A pluggable router decides which backend serves which
+message — by parameter set, payload, or anything else.
+
+This is the architecture the paper argues for: restructure a message
+stream into batches, then schedule the batches onto heterogeneous
+execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..errors import BackendError
+from ..params import get_params
+from ..sphincs.signer import KeyPair
+from .backend import BatchSignResult, SigningBackend
+from .registry import get_backend
+
+__all__ = ["BatchStats", "BatchScheduler"]
+
+# router(params_name, message) -> backend name
+Router = Callable[[str, bytes], str]
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """One dispatched batch, as the service's dashboard would see it."""
+
+    backend: str
+    params: str
+    count: int
+    elapsed_s: float
+    sigs_per_s: float
+    verified: bool | None
+    cache_hits: int
+    modeled_kops: float | None
+
+
+@dataclass
+class _Queue:
+    tickets: list[int] = field(default_factory=list)
+    messages: list[bytes] = field(default_factory=list)
+
+
+class BatchScheduler:
+    """Route a message stream through batch-signing backends.
+
+    Parameters
+    ----------
+    target_batch_size:
+        Dispatch a queue as soon as it holds this many messages
+        (:meth:`flush` dispatches partial queues).
+    backend:
+        Default backend name for messages the router does not claim.
+    router:
+        Optional ``(params_name, message) -> backend name`` callable.
+    verify:
+        When true, every dispatched batch is immediately verified and the
+        verdict recorded in its :class:`BatchStats` — a service-level
+        self-check, not a crypto requirement.
+    backend_options:
+        Per-backend-name constructor kwargs, e.g.
+        ``{"modeled-gpu": {"device": "RTX 3080"}}``.
+
+    >>> sched = BatchScheduler(target_batch_size=2, deterministic=True)
+    >>> tickets = [sched.submit(b"a"), sched.submit(b"b")]  # dispatches
+    >>> len(sched.signature(tickets[0]))
+    17088
+    """
+
+    def __init__(self, target_batch_size: int = 64,
+                 backend: str = "vectorized",
+                 router: Router | None = None,
+                 deterministic: bool = False,
+                 verify: bool = False,
+                 backend_options: dict[str, dict] | None = None):
+        if target_batch_size < 1:
+            raise BackendError(
+                f"target_batch_size must be >= 1, got {target_batch_size}"
+            )
+        self.target_batch_size = target_batch_size
+        self.default_backend = backend
+        self.router = router
+        self.deterministic = deterministic
+        self.verify = verify
+        self.backend_options = backend_options or {}
+        self.batches: list[BatchStats] = []
+        self._backends: dict[tuple[str, str], SigningBackend] = {}
+        self._keys: dict[str, KeyPair] = {}
+        self._queues: dict[tuple[str, str], _Queue] = {}
+        self._signatures: dict[int, bytes] = {}
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------------
+    # Key and backend management
+    # ------------------------------------------------------------------
+    def backend_for(self, params: str, backend: str) -> SigningBackend:
+        """The (cached) backend instance serving (params, backend)."""
+        key = (get_params(params).name, backend)
+        instance = self._backends.get(key)
+        if instance is None:
+            instance = get_backend(
+                backend, key[0], deterministic=self.deterministic,
+                **self.backend_options.get(backend, {}),
+            )
+            self._backends[key] = instance
+        return instance
+
+    def keys_for(self, params: str) -> KeyPair:
+        """One key pair per parameter set, shared by every backend.
+
+        All backends implement identical keygen, so signatures from any
+        backend verify under the set's single public key — which is what
+        lets the scheduler move traffic between backends freely.
+        """
+        name = get_params(params).name
+        keys = self._keys.get(name)
+        if keys is None:
+            seed = bytes(3 * get_params(name).n) if self.deterministic else None
+            keys = self.backend_for(name, self.default_backend).keygen(seed=seed)
+            self._keys[name] = keys
+        return keys
+
+    # ------------------------------------------------------------------
+    # Submission and dispatch
+    # ------------------------------------------------------------------
+    def submit(self, message: bytes, params: str = "128f",
+               backend: str | None = None) -> int:
+        """Queue *message*; returns a ticket redeemable for the signature."""
+        params_name = get_params(params).name
+        if backend is None:
+            backend = (self.router(params_name, message) if self.router
+                       else self.default_backend)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        queue = self._queues.setdefault((params_name, backend), _Queue())
+        queue.tickets.append(ticket)
+        queue.messages.append(message)
+        if len(queue.messages) >= self.target_batch_size:
+            self._dispatch((params_name, backend))
+        return ticket
+
+    def _dispatch(self, key: tuple[str, str]) -> BatchStats | None:
+        queue = self._queues.get(key)
+        if not queue or not queue.messages:
+            return None
+        params_name, backend_name = key
+        # The queue is cleared only after a successful sign: a failing
+        # backend (bad route, misconfiguration) must not strand tickets.
+        backend = self.backend_for(params_name, backend_name)
+        keys = self.keys_for(params_name)
+        result = backend.sign_batch(queue.messages, keys)
+        if len(result.signatures) != len(queue.messages):
+            raise BackendError(
+                f"backend {backend_name!r} returned {len(result.signatures)} "
+                f"signatures for {len(queue.messages)} messages"
+            )
+        self._queues[key] = _Queue()
+        for ticket, signature in zip(queue.tickets, result.signatures):
+            self._signatures[ticket] = signature
+        verified: bool | None = None
+        if self.verify:
+            verified = all(backend.verify_batch(
+                queue.messages, result.signatures, keys.public
+            ))
+        stats = self._stats(result, verified)
+        self.batches.append(stats)
+        return stats
+
+    def _stats(self, result: BatchSignResult,
+               verified: bool | None) -> BatchStats:
+        return BatchStats(
+            backend=result.backend,
+            params=result.params,
+            count=result.count,
+            elapsed_s=result.elapsed_s,
+            sigs_per_s=result.sigs_per_s,
+            verified=verified,
+            cache_hits=result.cache_stats.get("hits", 0),
+            modeled_kops=(round(result.modeled.kops, 3)
+                          if result.modeled is not None else None),
+        )
+
+    def flush(self) -> list[BatchStats]:
+        """Dispatch every non-empty queue (partial batches included)."""
+        dispatched = []
+        for key in list(self._queues):
+            stats = self._dispatch(key)
+            if stats is not None:
+                dispatched.append(stats)
+        return dispatched
+
+    def run(self, messages: Iterable[bytes], params: str = "128f",
+            backend: str | None = None) -> list[int]:
+        """Submit *messages*, flush, and return their tickets."""
+        tickets = [self.submit(m, params=params, backend=backend)
+                   for m in messages]
+        self.flush()
+        return tickets
+
+    # ------------------------------------------------------------------
+    # Results and reporting
+    # ------------------------------------------------------------------
+    def signature(self, ticket: int) -> bytes | None:
+        """Peek at the signature for *ticket* (None while still queued).
+
+        Signed results are retained until :meth:`claim`\\ ed; a
+        long-running service should claim tickets once redeemed or the
+        result store grows without bound (signatures are 17-50 KB each).
+        """
+        return self._signatures.get(ticket)
+
+    def claim(self, ticket: int) -> bytes | None:
+        """Redeem *ticket*: return its signature and release the storage."""
+        return self._signatures.pop(ticket, None)
+
+    @property
+    def pending(self) -> int:
+        """Messages submitted but not yet dispatched."""
+        return sum(len(q.messages) for q in self._queues.values())
+
+    def throughput(self) -> dict[tuple[str, str], dict[str, float]]:
+        """Aggregate signed counts and rates per (params, backend)."""
+        totals: dict[tuple[str, str], dict[str, float]] = {}
+        for stats in self.batches:
+            entry = totals.setdefault(
+                (stats.params, stats.backend),
+                {"count": 0, "elapsed_s": 0.0, "sigs_per_s": 0.0},
+            )
+            entry["count"] += stats.count
+            entry["elapsed_s"] += stats.elapsed_s
+        for entry in totals.values():
+            if entry["elapsed_s"] > 0:
+                entry["sigs_per_s"] = entry["count"] / entry["elapsed_s"]
+        return totals
+
+    def report(self, title: str = "Batch signing runtime") -> str:
+        """A formatted per-(params, backend) throughput table."""
+        from ..analysis.reporting import format_table
+
+        rows = []
+        for (params_name, backend_name), entry in sorted(
+                self.throughput().items()):
+            modeled = [s.modeled_kops for s in self.batches
+                       if s.params == params_name
+                       and s.backend == backend_name
+                       and s.modeled_kops is not None]
+            rows.append([
+                params_name,
+                backend_name,
+                int(entry["count"]),
+                round(entry["elapsed_s"], 3),
+                round(entry["sigs_per_s"], 3),
+                max(modeled) if modeled else "-",
+            ])
+        return format_table(
+            ["set", "backend", "signed", "wall s", "sig/s", "modeled KOPS"],
+            rows, title=title,
+        )

@@ -10,17 +10,20 @@ component schemes (WOTS+, FORS, the hypertree) are importable for direct
 experimentation and are exercised independently by the test suite.
 """
 
-from .signer import Sphincs, SigningArtifacts, KeyPair
+from .signer import Sphincs, SigningArtifacts, SignTask, KeyPair
 from .wots import Wots
 from .fors import Fors
-from .merkle import treehash, auth_path, root_from_auth
+from .merkle import treehash, auth_path, batched_leaves, root_from_auth, SubtreeCache
 from .hypertree import Hypertree
 from .encoding import base_w, checksum_digits, message_to_indices, split_digest
 
 __all__ = [
     "Sphincs",
     "SigningArtifacts",
+    "SignTask",
     "KeyPair",
+    "batched_leaves",
+    "SubtreeCache",
     "Wots",
     "Fors",
     "Hypertree",

@@ -48,9 +48,13 @@ class Fors:
         adrs.set_tree_index(leaf_global_index)
         return self.ctx.thash(pk_seed, adrs, secret)
 
-    def _tree_levels(self, tree: int, sk_seed: bytes, pk_seed: bytes,
-                     adrs: Address):
-        """All levels of FORS tree *tree* (leaves are offset globally)."""
+    def tree_levels(self, tree: int, sk_seed: bytes, pk_seed: bytes,
+                    adrs: Address):
+        """All levels of FORS tree *tree* (leaves are offset globally).
+
+        Public as a reusable per-tree stage; the runtime backends schedule
+        these k independent builds however they like.
+        """
         t = self.params.t
         base = tree * t
         leaves = [
@@ -62,6 +66,9 @@ class Fors:
         # then the spec's offset is tree*t >> height; handle by wrapping.
         return _offset_treehash(leaves, self.ctx, pk_seed, adrs, base)
 
+    # Backwards-compatible alias for the pre-runtime private name.
+    _tree_levels = tree_levels
+
     # ------------------------------------------------------------------
     def sign(self, fors_msg: bytes, sk_seed: bytes, pk_seed: bytes,
              adrs: Address) -> tuple[ForsSignature, bytes]:
@@ -72,7 +79,7 @@ class Fors:
         for tree, leaf_idx in enumerate(indices):
             base = tree * self.params.t
             secret = self._secret(sk_seed, pk_seed, adrs, base + leaf_idx)
-            levels = self._tree_levels(tree, sk_seed, pk_seed, adrs)
+            levels = self.tree_levels(tree, sk_seed, pk_seed, adrs)
             signature.append((secret, auth_path(levels, leaf_idx)))
             roots.append(levels[-1][0])
         return signature, self._compress_roots(roots, pk_seed, adrs)

@@ -13,7 +13,7 @@ from ..errors import SignatureFormatError
 from ..hashes.address import Address, AddressType
 from ..hashes.thash import HashContext
 from ..params import SphincsParams
-from .merkle import auth_path, root_from_auth, treehash
+from .merkle import TreeLevels, auth_path, batched_leaves, root_from_auth, treehash
 from .wots import Wots
 
 __all__ = ["Hypertree", "XmssSignature", "HypertreeSignature"]
@@ -32,25 +32,53 @@ class Hypertree:
         self.wots = Wots(ctx)
 
     # ------------------------------------------------------------------
-    def _subtree_levels(self, sk_seed: bytes, pk_seed: bytes, layer: int,
-                        tree: int):
-        """All Merkle levels of the subtree at (layer, tree)."""
-        leaves = []
-        for i in range(self.params.tree_leaves):
+    def subtree_levels(self, sk_seed: bytes, pk_seed: bytes, layer: int,
+                       tree: int) -> TreeLevels:
+        """All Merkle levels of the subtree at (layer, tree).
+
+        Public as a reusable stage: runtime backends cache these per
+        (layer, tree) across a batch — repeated signatures under one key
+        always revisit the upper layers.
+        """
+        def leaf(i: int) -> bytes:
             adrs = Address().set_layer(layer).set_tree(tree)
             adrs.set_type(AddressType.WOTS_HASH)
             adrs.set_keypair(i)
-            leaves.append(self.wots.gen_leaf(sk_seed, pk_seed, adrs))
+            return self.wots.gen_leaf(sk_seed, pk_seed, adrs)
+
+        leaves = batched_leaves(leaf, self.params.tree_leaves)
         tree_adrs = Address().set_layer(layer).set_tree(tree)
         tree_adrs.set_type(AddressType.TREE)
         return treehash(leaves, self.ctx, pk_seed, tree_adrs)
 
+    # Backwards-compatible alias for the pre-runtime private name.
+    _subtree_levels = subtree_levels
+
     def root(self, sk_seed: bytes, pk_seed: bytes) -> bytes:
         """The public root (top-layer subtree root)."""
-        levels = self._subtree_levels(sk_seed, pk_seed, self.params.d - 1, 0)
+        levels = self.subtree_levels(sk_seed, pk_seed, self.params.d - 1, 0)
         return levels[-1][0]
 
     # ------------------------------------------------------------------
+    def layer_stage(self, node: bytes, sk_seed: bytes, pk_seed: bytes,
+                    layer: int, tree: int, leaf: int,
+                    levels: TreeLevels | None = None,
+                    ) -> tuple[XmssSignature, bytes]:
+        """One XMSS layer of the signing walk.
+
+        WOTS-signs *node* with keypair *leaf* of subtree (layer, tree) and
+        returns that layer's signature plus the subtree root (the next
+        layer's message).  *levels* lets callers supply a precomputed (e.g.
+        cached) subtree instead of rebuilding it.
+        """
+        if levels is None:
+            levels = self.subtree_levels(sk_seed, pk_seed, layer, tree)
+        wots_adrs = Address().set_layer(layer).set_tree(tree)
+        wots_adrs.set_type(AddressType.WOTS_HASH)
+        wots_adrs.set_keypair(leaf)
+        chain_values = self.wots.sign(node, sk_seed, pk_seed, wots_adrs)
+        return (chain_values, auth_path(levels, leaf)), levels[-1][0]
+
     def sign(self, message: bytes, sk_seed: bytes, pk_seed: bytes,
              idx_tree: int, idx_leaf: int) -> tuple[HypertreeSignature, bytes]:
         """Sign *message* (the FORS pk) along the hypertree path.
@@ -63,13 +91,10 @@ class Hypertree:
         node = message
         tree, leaf = idx_tree, idx_leaf
         for layer in range(params.d):
-            levels = self._subtree_levels(sk_seed, pk_seed, layer, tree)
-            wots_adrs = Address().set_layer(layer).set_tree(tree)
-            wots_adrs.set_type(AddressType.WOTS_HASH)
-            wots_adrs.set_keypair(leaf)
-            chain_values = self.wots.sign(node, sk_seed, pk_seed, wots_adrs)
-            signature.append((chain_values, auth_path(levels, leaf)))
-            node = levels[-1][0]
+            xmss_sig, node = self.layer_stage(
+                node, sk_seed, pk_seed, layer, tree, leaf
+            )
+            signature.append(xmss_sig)
             # Walk up: the low tree_height bits of `tree` select the next
             # leaf, the rest the next tree (paper Figure 2's index update).
             leaf = tree & (params.tree_leaves - 1)

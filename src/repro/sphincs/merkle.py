@@ -15,10 +15,73 @@ from ..errors import SignatureFormatError
 from ..hashes.address import Address
 from ..hashes.thash import HashContext
 
-__all__ = ["treehash", "auth_path", "root_from_auth", "TreeLevels"]
+__all__ = [
+    "treehash",
+    "auth_path",
+    "root_from_auth",
+    "batched_leaves",
+    "SubtreeCache",
+    "TreeLevels",
+]
 
 # levels[0] is the leaf level; levels[-1] == [root].
 TreeLevels = list[list[bytes]]
+
+
+def batched_leaves(leaf_fn: Callable[[int], bytes], count: int) -> list[bytes]:
+    """Materialize *count* leaves from an index-addressed generator.
+
+    The single chokepoint for leaf production: both the scalar hypertree
+    walk and the vectorized backend's cached builds route through it, so a
+    future sharded or accelerated leaf stage only has to replace this
+    function.
+    """
+    return [leaf_fn(index) for index in range(count)]
+
+
+class SubtreeCache:
+    """A bounded memo of computed Merkle subtrees, keyed by the caller.
+
+    Batch signing under one key recomputes the same upper hypertree
+    subtrees for every message (the top layer is *always* tree 0); caching
+    the full level lists makes those repeats free.  Eviction is FIFO — the
+    access pattern is a stream of whole batches, so recency tracking buys
+    nothing over insertion order.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError(
+                f"SubtreeCache needs max_entries >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._store: dict[object, TreeLevels] = {}
+
+    def get_or_build(self, key: object,
+                     build: Callable[[], TreeLevels]) -> TreeLevels:
+        levels = self._store.get(key)
+        if levels is not None:
+            self.hits += 1
+            return levels
+        self.misses += 1
+        levels = build()
+        if len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = levels
+        return levels
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._store)}
 
 
 def treehash(

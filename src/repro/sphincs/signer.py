@@ -25,7 +25,7 @@ from .encoding import message_to_indices, split_digest
 from .fors import Fors, ForsSignature
 from .hypertree import Hypertree, HypertreeSignature
 
-__all__ = ["KeyPair", "SigningArtifacts", "Sphincs"]
+__all__ = ["KeyPair", "SigningArtifacts", "SignTask", "Sphincs"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,22 @@ class KeyPair:
     @property
     def secret(self) -> bytes:
         return self.sk_seed + self.sk_prf + self.pk_seed + self.pk_root
+
+
+@dataclass(frozen=True)
+class SignTask:
+    """The message-digestion stage's output: everything signing needs.
+
+    Produced by :meth:`Sphincs.prepare`; consumed by the FORS and hypertree
+    stages.  Runtime backends build one task per message up front, then
+    schedule the expensive stages however they like.
+    """
+
+    message: bytes
+    randomizer: bytes
+    fors_msg: bytes
+    idx_tree: int
+    idx_leaf: int
 
 
 @dataclass
@@ -94,43 +110,69 @@ class Sphincs:
         return KeyPair(sk_seed, sk_prf, pk_seed, pk_root)
 
     # ------------------------------------------------------------------
-    def sign(self, message: bytes, keys: KeyPair,
-             artifacts: SigningArtifacts | None = None) -> bytes:
-        """Sign *message*, returning the serialized signature."""
+    # Signing stages
+    #
+    # ``sign`` composes four reusable stages — prepare / fors_stage /
+    # hypertree_stage / assemble — so the batch runtime can drive each
+    # stage itself (cache subtrees, reorder work, time components) while
+    # this method stays the one-call scalar reference path.
+    # ------------------------------------------------------------------
+    def prepare(self, message: bytes, keys: KeyPair) -> SignTask:
+        """Stage 1: digest the message into indices and the randomizer."""
         params = self.params
         opt_rand = keys.pk_seed if self.deterministic else os.urandom(params.n)
         randomizer = self.ctx.prf_msg(keys.sk_prf, opt_rand, message)
-
         digest = self.ctx.h_msg(randomizer, keys.pk_seed, keys.pk_root, message)
         fors_msg, idx_tree, idx_leaf = split_digest(digest, params)
+        return SignTask(message, randomizer, fors_msg, idx_tree, idx_leaf)
 
-        fors_adrs = Address().set_layer(0).set_tree(idx_tree)
+    def fors_stage(self, task: SignTask,
+                   keys: KeyPair) -> tuple[ForsSignature, bytes]:
+        """Stage 2: FORS-sign the task's message chunk."""
+        fors_adrs = Address().set_layer(0).set_tree(task.idx_tree)
         fors_adrs.set_type(AddressType.FORS_TREE)
-        fors_adrs.set_keypair(idx_leaf)
-
-        counting = self.ctx.hash_calls if artifacts is not None else 0
-        fors_sig, fors_pk = self.fors.sign(
-            fors_msg, keys.sk_seed, keys.pk_seed, fors_adrs
+        fors_adrs.set_keypair(task.idx_leaf)
+        return self.fors.sign(
+            task.fors_msg, keys.sk_seed, keys.pk_seed, fors_adrs
         )
-        if artifacts is not None:
-            artifacts.fors_hash_calls = self.ctx.hash_calls - counting
-            counting = self.ctx.hash_calls
 
+    def hypertree_stage(self, task: SignTask, keys: KeyPair,
+                        fors_pk: bytes) -> HypertreeSignature:
+        """Stage 3: sign the FORS public key along the hypertree path."""
         ht_sig, root = self.hypertree.sign(
-            fors_pk, keys.sk_seed, keys.pk_seed, idx_tree, idx_leaf
+            fors_pk, keys.sk_seed, keys.pk_seed, task.idx_tree, task.idx_leaf
         )
         if root != keys.pk_root:
             raise SignatureFormatError(
                 "internal error: hypertree root does not match public key"
             )
+        return ht_sig
+
+    def assemble(self, task: SignTask, fors_sig: ForsSignature,
+                 ht_sig: HypertreeSignature) -> bytes:
+        """Stage 4: serialize the components into the wire format."""
+        return self.serialize(task.randomizer, fors_sig, ht_sig)
+
+    def sign(self, message: bytes, keys: KeyPair,
+             artifacts: SigningArtifacts | None = None) -> bytes:
+        """Sign *message*, returning the serialized signature."""
+        task = self.prepare(message, keys)
+
+        counting = self.ctx.hash_calls if artifacts is not None else 0
+        fors_sig, fors_pk = self.fors_stage(task, keys)
         if artifacts is not None:
-            artifacts.randomizer = randomizer
-            artifacts.fors_indices = message_to_indices(fors_msg, params)
-            artifacts.idx_tree = idx_tree
-            artifacts.idx_leaf = idx_leaf
+            artifacts.fors_hash_calls = self.ctx.hash_calls - counting
+            counting = self.ctx.hash_calls
+
+        ht_sig = self.hypertree_stage(task, keys, fors_pk)
+        if artifacts is not None:
+            artifacts.randomizer = task.randomizer
+            artifacts.fors_indices = message_to_indices(task.fors_msg, self.params)
+            artifacts.idx_tree = task.idx_tree
+            artifacts.idx_leaf = task.idx_leaf
             artifacts.tree_hash_calls = self.ctx.hash_calls - counting
 
-        return self._serialize(randomizer, fors_sig, ht_sig)
+        return self.assemble(task, fors_sig, ht_sig)
 
     # ------------------------------------------------------------------
     def verify(self, message: bytes, signature: bytes, public_key: bytes) -> bool:
@@ -142,7 +184,7 @@ class Sphincs:
             return False
         pk_seed, pk_root = public_key[:params.n], public_key[params.n:]
         try:
-            randomizer, fors_sig, ht_sig = self._deserialize(signature)
+            randomizer, fors_sig, ht_sig = self.deserialize(signature)
         except SignatureFormatError:
             return False
 
@@ -162,8 +204,9 @@ class Sphincs:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def _serialize(self, randomizer: bytes, fors_sig: ForsSignature,
-                   ht_sig: HypertreeSignature) -> bytes:
+    def serialize(self, randomizer: bytes, fors_sig: ForsSignature,
+                  ht_sig: HypertreeSignature) -> bytes:
+        """Serialize signature components to ``R || FORS || d * XMSS``."""
         parts = [randomizer]
         for secret, path in fors_sig:
             parts.append(secret)
@@ -179,8 +222,9 @@ class Sphincs:
             )
         return blob
 
-    def _deserialize(self, blob: bytes) -> tuple[bytes, ForsSignature,
-                                                 HypertreeSignature]:
+    def deserialize(self, blob: bytes) -> tuple[bytes, ForsSignature,
+                                                HypertreeSignature]:
+        """Split a signature blob back into its typed components."""
         params = self.params
         n = params.n
         if len(blob) != params.sig_bytes:
@@ -207,3 +251,7 @@ class Sphincs:
             path = [take(n) for _ in range(params.tree_height)]
             ht_sig.append((chains, path))
         return randomizer, fors_sig, ht_sig
+
+    # Backwards-compatible aliases for the pre-runtime private names.
+    _serialize = serialize
+    _deserialize = deserialize

@@ -39,11 +39,19 @@ class Wots:
             out = self.ctx.thash(pk_seed, adrs, out)
         return out
 
-    def _chain_starts(self, message: bytes) -> list[int]:
-        """Digits (chain start positions for verification walk) of *message*."""
+    def chain_starts(self, message: bytes) -> list[int]:
+        """Digits (chain start positions for verification walk) of *message*.
+
+        Public as a reusable stage: digit extraction is pure encoding
+        (``base_w`` + checksum), independent of how a backend then walks
+        the chains.
+        """
         digits = base_w(message, self.params.w, self.params.wots_len1)
         digits += checksum_digits(digits, self.params)
         return digits
+
+    # Backwards-compatible alias for the pre-runtime private name.
+    _chain_starts = chain_starts
 
     def _secret(self, sk_seed: bytes, pk_seed: bytes, adrs: Address) -> bytes:
         sk_adrs = adrs.copy()

@@ -34,6 +34,14 @@ class TestCli:
         assert main(["sign", "--deterministic", "--out", str(out_file)]) == 0
         assert out_file.stat().st_size == 17088
 
+    def test_serve(self, capsys):
+        assert main(["serve", "--params", "128f", "--backends", "vectorized",
+                     "--messages", "2", "--deterministic", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "vectorized" in out
+        assert "SPHINCS+-128f" in out
+        assert "sig/s" in out
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
