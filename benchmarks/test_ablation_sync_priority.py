@@ -7,7 +7,7 @@ utilization-first candidate to confirm the sync-first heuristic pays.
 
 from repro.analysis import format_table
 from repro.core.kernels import OptimizationFlags, build_fors_plan
-from repro.core.fusion import ForsPlan, plan_fors
+from repro.core.fusion import ForsPlan
 from repro.core.padding import padding_rule
 from repro.core.pipeline import kernel_report
 from repro.core.tree_tuning import tree_tuning_search

@@ -1,0 +1,96 @@
+"""Async service latency/throughput — the service tier's perf baseline.
+
+Not a paper table: a Poisson stream is replayed against the in-process
+signing service and the client-observed latency distribution, achieved
+throughput, and dispatched batch-size histogram are recorded as JSON
+next to ``backend_throughput.json``, so future service PRs (smarter
+batching, parallel dispatch, sharded backends) have a baseline to beat.
+
+Set ``REPRO_SMOKE=1`` for the tiny CI configuration that just proves the
+service path end-to-end on every push.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+
+from repro.service import (Keystore, LoadGenerator, SigningService,
+                           derive_seed, poisson_trace)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+MESSAGES = 8 if SMOKE else 48
+# Full runs offer load just under the vectorized backend's single-lock
+# capacity (~13 sig/s on the reference box) so the record is a *latency*
+# baseline, not a queue-growth measurement; smoke runs compress arrivals
+# to finish fast.
+RATE = 40.0 if SMOKE else 10.0  # offered requests/second
+TARGET_BATCH = 4 if SMOKE else 8
+MAX_WAIT_S = 0.05
+
+
+def test_service_poisson_latency(emit):
+    service = SigningService(
+        Keystore(), backend="vectorized",
+        target_batch_size=TARGET_BATCH, max_wait_s=MAX_WAIT_S,
+        max_pending=4 * MESSAGES, deterministic=True,
+    )
+    service.keystore.add_tenant("bench", "128f")
+    service.keystore.generate_key("bench", seed=derive_seed("bench", 16))
+
+    async def scenario():
+        async def signer(message):
+            return await service.sign(message, "bench")
+
+        generator = LoadGenerator(signer)
+        offsets = poisson_trace(MESSAGES, rate=RATE, seed=42)
+        try:
+            return await generator.run(offsets, trace="poisson")
+        finally:
+            await service.drain()
+            service.close()
+
+    report = asyncio.run(scenario())
+
+    assert report.signed == MESSAGES, (
+        f"{report.shed} shed / {report.failed} failed of {MESSAGES}"
+    )
+    assert report.latency_ms(99) > 0
+
+    stats = service.stats()
+    record = {
+        "trace": "poisson",
+        "params": "SPHINCS+-128f",
+        "backend": "vectorized",
+        "smoke": SMOKE,
+        "messages": MESSAGES,
+        "offered_rate": RATE,
+        "target_batch_size": TARGET_BATCH,
+        "max_wait_ms": MAX_WAIT_S * 1000.0,
+        "achieved_sigs_per_s": round(report.achieved_rate, 4),
+        "latency_ms": {
+            "p50": report.latency_ms(50),
+            "p95": report.latency_ms(95),
+            "p99": report.latency_ms(99),
+        },
+        "queue_wait_ms": stats["latency_ms"]["wait"],
+        "batch_histogram": stats["batches"]["histogram"],
+        "shed": report.shed,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_latency.json").write_text(
+        json.dumps(record, indent=2) + "\n")
+
+    from repro.analysis import format_table
+
+    emit("service_latency", format_table(
+        ["trace", "msgs", "offered/s", "achieved/s", "p50 ms", "p95 ms",
+         "p99 ms", "batches"],
+        [["poisson", MESSAGES, RATE, round(report.achieved_rate, 2),
+          report.latency_ms(50), report.latency_ms(95),
+          report.latency_ms(99), stats["batches"]["dispatched"]]],
+        title=f"Service latency, Poisson arrivals, batch<={TARGET_BATCH}, "
+              f"deadline {MAX_WAIT_S * 1000:.0f} ms",
+    ))

@@ -5,7 +5,6 @@ The idle row comes from the baseline's host-synchronized launch flow on
 the execution timeline.
 """
 
-import pytest
 
 from repro.analysis import PAPER, format_table
 from repro.analysis.reporting import shape_check

@@ -1,70 +1,100 @@
 #!/usr/bin/env python3
-"""A batch signing service — the paper's motivating workload.
+"""A live batch signing service — the paper's workload, served async.
 
-High-throughput applications (blockchain, VPN handshakes, IoT backends)
-sign message streams in batches.  This example drives the unified batch
-runtime end-to-end: a message stream for each of the paper's three fast
-parameter sets (128f/192f/256f) is submitted to the
-:class:`repro.runtime.BatchScheduler`, which batches it and routes the
-batches across all three execution backends:
+PR 1's runtime signs batches fast; this example fronts it with the
+``repro.service`` tier the way a real deployment would: two tenants with
+their own named keys and parameter sets share one asyncio signing
+service, traffic arrives as an on/off *bursty* stream (the worst case
+for naive batching), and the deadline-aware batcher decides per queue
+whether to wait for a full batch or ship early because a request's
+latency budget is up.
 
-* ``scalar``      — the reference functional layer (the baseline),
-* ``vectorized``  — the amortized CPU hot path (cached subtrees,
-  address templates, shared hash midstates),
-* ``modeled-gpu`` — the same signatures plus what the analytical model
-  says an RTX 4090 running HERO-Sign's task-graph strategy would do.
+What to watch in the output:
 
-Every signature is verified, and the final report shows measured
-per-backend throughput next to the modeled GPU KOPS — the CPU/GPU gap
-the paper sets out to close.
+* The batch-size histogram — bursts fill whole batches, the straggler
+  after each burst ships as a small one when its deadline fires.
+* p50 vs p99 total latency — the batching delay the paper trades
+  against throughput, measured per request.
+* The wallet tenant's lone low-latency request — a batch of one, signed
+  within its 40 ms queue budget instead of stranding behind the target
+  batch size.
 
-Usage: python examples/batch_signing_service.py [messages_per_batch]
+Usage: python examples/batch_signing_service.py [messages]
 """
 
+import asyncio
 import sys
 
-from repro.runtime import BatchScheduler
+from repro.service import (Keystore, LoadGenerator, ServiceClient,
+                           SigningServer, SigningService, bursty_trace,
+                           derive_seed, render_snapshot)
+from repro.params import get_params
+from repro.sphincs.signer import Sphincs
 
-PARAM_SETS = ("128f", "192f", "256f")
-BACKENDS = ("scalar", "vectorized", "modeled-gpu")
+TENANTS = {
+    "wallet": "128f",     # latency-sensitive payments traffic
+    "firmware": "128s",   # small signatures for constrained devices
+}
 
 
-def main() -> None:
-    count = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+def build_keystore() -> Keystore:
+    keystore = Keystore()  # in-memory; pass a path to persist
+    for tenant, params in TENANTS.items():
+        keystore.add_tenant(tenant, params)
+        keystore.generate_key(
+            tenant, "default",
+            seed=derive_seed(f"{tenant}/default", get_params(params).n))
+    return keystore
 
-    scheduler = BatchScheduler(
-        target_batch_size=count,
-        deterministic=True,   # reproducible output (and byte-equal backends)
-        verify=True,          # service-level self-check on every batch
+
+async def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+
+    service = SigningService(
+        build_keystore(),
+        backend="vectorized",
+        target_batch_size=4,    # the throughput knob...
+        max_wait_s=0.08,        # ...and the tail-latency knob
+        max_pending=64,
+        deterministic=True,
     )
+    server = SigningServer(service, port=0)
+    await server.start()
+    print(f"signing service on 127.0.0.1:{server.port} — "
+          f"tenants {dict(TENANTS)}\n")
+    client = await ServiceClient.connect(port=server.port)
 
-    for params in PARAM_SETS:
-        for backend in BACKENDS:
-            tickets = scheduler.run(
-                (f"{params} transaction #{i}".encode() for i in range(count)),
-                params=params, backend=backend,
-            )
-            batch = scheduler.batches[-1]
-            sig = scheduler.signature(tickets[0])
-            assert batch.verified, f"{params}/{backend}: verification failed!"
-            modeled = (f", modeled {batch.modeled_kops} KOPS"
-                       if batch.modeled_kops is not None else "")
-            print(f"{params}/{backend}: signed {batch.count} messages "
-                  f"({len(sig):,} B each) in {batch.elapsed_s:.2f} s — "
-                  f"{batch.sigs_per_s:.2f} sig/s, all verified{modeled}")
+    try:
+        # 1. The wallet tenant's bursty stream, over TCP.
+        async def signer(message: bytes) -> dict:
+            return await client.sign(message, "wallet")
 
-    print()
-    print(scheduler.report(
-        title=f"Batch signing service: {count}-message batches, "
-              f"all backends, all -f sets"
-    ))
+        offsets = bursty_trace(count, rate=40.0, burst=4, seed=2)
+        generator = LoadGenerator(
+            signer, message_factory=lambda i: f"payment #{i}".encode())
+        report = await generator.run(offsets, trace="bursty")
+        print(report.table())
+        print()
 
-    by_key = scheduler.throughput()
-    for params in PARAM_SETS:
-        scalar = by_key[(f"SPHINCS+-{params}", "scalar")]["sigs_per_s"]
-        vector = by_key[(f"SPHINCS+-{params}", "vectorized")]["sigs_per_s"]
-        print(f"{params}: vectorized is {vector / scalar:.2f}x scalar")
+        # 2. One lone firmware request — 128s signing is seconds-slow,
+        #    but the deadline (not the batch target) controls its wait.
+        outcome = await service.sign(b"firmware image digest", "firmware",
+                                     deadline_ms=40.0)
+        keys, params = service.keystore.resolve("firmware")
+        verified = Sphincs(params).verify(b"firmware image digest",
+                                          outcome.signature, keys.public)
+        print(f"firmware/{params}: batch of {outcome.batch_size}, "
+              f"waited {outcome.wait_ms:.0f} ms in queue, "
+              f"{len(outcome.signature):,} B signature, "
+              f"verified={verified}\n")
+
+        # 3. The server's own view, as the stats verb reports it.
+        print(render_snapshot(await client.stats(),
+                              title="Server telemetry (stats verb)"))
+    finally:
+        await client.close()
+        await server.stop()
 
 
 if __name__ == "__main__":
-    main()
+    asyncio.run(main())

@@ -8,6 +8,15 @@ serve
     Drive the batch-signing runtime end-to-end: queue messages through
     the BatchScheduler, sign them on the selected backends, and report
     per-backend throughput.
+serve-async
+    Run the asyncio signing service: multi-tenant keystore,
+    deadline-aware batching, admission control, a newline-delimited JSON
+    TCP protocol, and a ``stats`` telemetry verb.
+loadtest
+    Drive a signing service with a generated arrival trace (poisson /
+    bursty / ramp) and print client latency percentiles plus the
+    server's telemetry report.  Self-hosts a server unless ``--connect``
+    names one.
 tune
     Run the Tree Tuning search for a parameter set and device.
 model
@@ -28,7 +37,11 @@ def _cmd_sign(args: argparse.Namespace) -> int:
     scheme = Sphincs(args.params, deterministic=args.deterministic)
     seed = bytes(3 * scheme.params.n) if args.deterministic else None
     keys = scheme.keygen(seed=seed)
-    message = open(args.file, "rb").read() if args.file else args.message.encode()
+    if args.file:
+        with open(args.file, "rb") as handle:
+            message = handle.read()
+    else:
+        message = args.message.encode()
     signature = scheme.sign(message, keys)
     print(f"parameter set : {scheme.params.name}")
     print(f"message bytes : {len(message)}")
@@ -68,6 +81,148 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(set, backend)"
     ))
     return 0
+
+
+def _parse_tenants(spec: str) -> list[tuple[str, str]]:
+    """Parse ``name:params,name:params`` (params optional, default 128f)."""
+    tenants = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, params = item.partition(":")
+        tenants.append((name.strip(), params.strip() or "128f"))
+    return tenants
+
+
+def _build_service(args: argparse.Namespace):
+    """Construct the SigningService a serve-async/loadtest run fronts."""
+    from .service import Keystore, SigningService, derive_seed
+    from .params import get_params
+
+    keystore = Keystore(root=args.keystore or None)
+    for name, params in _parse_tenants(args.tenants):
+        keystore.add_tenant(name, params, exist_ok=True)
+        if "default" not in keystore.key_names(name):
+            seed = (derive_seed(f"{name}/default",
+                                get_params(params).n)
+                    if args.deterministic else None)
+            keystore.generate_key(name, "default", seed=seed)
+    return SigningService(
+        keystore,
+        backend=args.backend,
+        target_batch_size=args.batch_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        max_pending=args.max_pending,
+        deterministic=args.deterministic,
+    )
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tenants", default="demo:128f",
+                        help="comma-separated name:params tenant specs")
+    parser.add_argument("--keystore", default=None,
+                        help="keystore directory (default: in-memory)")
+    parser.add_argument("--backend", default="vectorized")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="dispatch a queue at this fill level")
+    parser.add_argument("--max-wait-ms", type=float, default=100.0,
+                        help="latency budget before a partial batch ships")
+    parser.add_argument("--max-pending", type=int, default=256,
+                        help="shed requests beyond this queue depth")
+    parser.add_argument("--deterministic", action="store_true",
+                        help="deterministic backends and tenant key seeds")
+
+
+def _cmd_serve_async(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import SigningServer
+
+    async def run() -> None:
+        service = _build_service(args)
+        server = SigningServer(service, host=args.host, port=args.port)
+        await server.start()
+        config = service.stats()["config"]
+        print(f"signing service listening on {args.host}:{server.port}")
+        print(f"  tenants       : {config['tenants']}")
+        print(f"  backend       : {config['backend']}")
+        print(f"  batch size    : {config['target_batch_size']}, "
+              f"max wait {config['max_wait_ms']} ms, "
+              f"shed above {config['max_pending']} queued")
+        print("  protocol      : one JSON object per line "
+              "(ops: sign, stats, ping); Ctrl-C to stop")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import (LoadGenerator, ServiceClient, SigningServer,
+                          make_trace, render_snapshot)
+
+    if args.messages < 1:
+        print("loadtest: --messages must be >= 1", file=sys.stderr)
+        return 2
+    tenants = _parse_tenants(args.tenants)
+    if not tenants:
+        print("loadtest: --tenants must name at least one tenant",
+              file=sys.stderr)
+        return 2
+    tenant = tenants[0][0]
+    if args.connect:
+        host, sep, port = args.connect.rpartition(":")
+        host = host.strip("[]") or "127.0.0.1"  # [::1]:7744 -> ::1
+        if not sep or not port.isdigit():
+            print(f"loadtest: --connect wants HOST:PORT, got "
+                  f"{args.connect!r}", file=sys.stderr)
+            return 2
+
+    async def run() -> int:
+        server = None
+        if args.connect:
+            client = await ServiceClient.connect(host, int(port))
+        else:
+            server = SigningServer(_build_service(args), port=0)
+            await server.start()
+            print(f"self-hosted signing service on 127.0.0.1:{server.port}")
+            client = await ServiceClient.connect(port=server.port)
+
+        async def signer(message: bytes) -> dict:
+            return await client.sign(message, tenant,
+                                     deadline_ms=args.deadline_ms)
+
+        try:
+            offsets = make_trace(args.trace, args.messages, args.rate,
+                                 seed=args.seed)
+            generator = LoadGenerator(signer, time_scale=args.time_scale)
+            print(f"replaying {args.messages} requests, trace "
+                  f"{args.trace!r} at ~{args.rate}/s "
+                  f"(tenant {tenant!r})...")
+            report = await generator.run(offsets, trace=args.trace)
+            stats = await client.stats()
+        finally:
+            await client.close()
+            if server is not None:
+                await server.stop()
+        print()
+        print(report.table())
+        print()
+        print(render_snapshot(stats, title="Server telemetry"))
+        return 0 if report.failed == 0 else 1
+
+    return asyncio.run(run())
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -147,6 +302,33 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--verify", action="store_true",
                          help="verify every batch after signing")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_serve_async = sub.add_parser(
+        "serve-async",
+        help="run the asyncio signing service over TCP")
+    p_serve_async.add_argument("--host", default="127.0.0.1")
+    p_serve_async.add_argument("--port", type=int, default=7744,
+                               help="TCP port (0 picks a free one)")
+    _add_service_args(p_serve_async)
+    p_serve_async.set_defaults(func=_cmd_serve_async)
+
+    p_loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a signing service with a generated arrival trace")
+    p_loadtest.add_argument("--connect", default=None, metavar="HOST:PORT",
+                            help="target service (default: self-host one)")
+    p_loadtest.add_argument("--trace", default="poisson",
+                            choices=("poisson", "bursty", "ramp"))
+    p_loadtest.add_argument("--messages", type=int, default=32)
+    p_loadtest.add_argument("--rate", type=float, default=20.0,
+                            help="mean arrival rate, requests/second")
+    p_loadtest.add_argument("--deadline-ms", type=float, default=None,
+                            help="per-request queue-wait budget")
+    p_loadtest.add_argument("--seed", type=int, default=0)
+    p_loadtest.add_argument("--time-scale", type=float, default=1.0,
+                            help="multiply trace offsets (0.5 = 2x faster)")
+    _add_service_args(p_loadtest)
+    p_loadtest.set_defaults(func=_cmd_loadtest)
 
     p_tune = sub.add_parser("tune", help="run the Tree Tuning search")
     p_tune.add_argument("--params", default="128f")

@@ -19,7 +19,7 @@ from ..gpusim.compile_time import CompileTimeModel
 from ..gpusim.compiler import Branch
 from ..gpusim.device import DeviceSpec, get_device
 from ..gpusim.engine import TimingEngine
-from ..params import FAST_SETS, get_params
+from ..params import get_params
 from .reference_data import PAPER
 from .reporting import format_table
 

@@ -19,7 +19,6 @@ synchronization gaps (what graphs eliminate), not execution time.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import GpuModelError
@@ -28,7 +27,6 @@ from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import TimingEngine
 from ..gpusim.graph import TaskGraph
 from ..gpusim.kernel import LaunchConfig
-from ..gpusim.occupancy import occupancy
 from ..gpusim.stream import Timeline, TimelineResult
 from ..params import SphincsParams
 from .baseline import baseline_plans

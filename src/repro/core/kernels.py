@@ -14,7 +14,7 @@ grid size equals the batch size.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import GpuModelError
 from ..gpusim.compiler import Branch, CompiledKernel, CompilerModel
@@ -182,7 +182,6 @@ def build_fors_plan(
     k = params.k
     n = params.n
     flight = fors_plan.trees_in_flight
-    f = fors_plan.fusion_f
     nodes_shared = memory_plan.nodes_in_shared and flags.mmtp
     overhead = memory_plan.overhead_for("FORS_Sign", params.n)
 

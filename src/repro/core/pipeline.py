@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..gpusim.compiler import Branch, CompilerModel
+from ..gpusim.compiler import Branch
 from ..gpusim.device import DeviceSpec
 from ..gpusim.engine import TimingEngine
 from ..gpusim.profiler import KernelProfile, profile_launch

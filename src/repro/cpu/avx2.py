@@ -17,7 +17,6 @@ ratio is 5.79x).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..params import SphincsParams

@@ -29,6 +29,25 @@ class BackendError(ReproError):
     """An unknown, misconfigured, or misused signing-runtime backend."""
 
 
+class ServiceError(ReproError):
+    """Base class for async signing-service failures."""
+
+
+class KeystoreError(ServiceError, KeyError):
+    """An unknown tenant or key name, or invalid keystore contents."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message flat
+        return Exception.__str__(self)
+
+
+class OverloadedError(ServiceError):
+    """The service shed a request: queue depth exceeded the watermark."""
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A malformed wire message on the newline-delimited JSON protocol."""
+
+
 class GpuModelError(ReproError):
     """Base class for GPU-simulator configuration/usage errors."""
 

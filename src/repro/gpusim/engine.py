@@ -23,7 +23,7 @@ All constants live in :class:`repro.gpusim.calibration.Calibration`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .calibration import Calibration, DEFAULT_CALIBRATION
 from .compiler import CompiledKernel

@@ -12,11 +12,11 @@ charged to the timeline here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import GraphError
 from .calibration import Calibration, DEFAULT_CALIBRATION
-from .stream import LaunchRecord, Stream, Timeline
+from .stream import LaunchRecord, Timeline
 
 __all__ = ["GraphNode", "TaskGraph", "GraphExec"]
 

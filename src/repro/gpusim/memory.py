@@ -24,7 +24,7 @@ This module replays real access traces against that rule:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import SharedMemoryError

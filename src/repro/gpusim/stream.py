@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import GpuModelError
 from .calibration import Calibration, DEFAULT_CALIBRATION

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["sha256", "Sha256", "OpCounts", "count_compression_ops"]
 

@@ -12,7 +12,6 @@ carries the full ``BatchResult`` (makespan, launch latency, KOPS).
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Sequence
 

@@ -15,8 +15,9 @@ execution engines.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 from ..errors import BackendError
 from ..params import get_params
@@ -48,6 +49,7 @@ class BatchStats:
 class _Queue:
     tickets: list[int] = field(default_factory=list)
     messages: list[bytes] = field(default_factory=list)
+    enqueued: list[float] = field(default_factory=list)
 
 
 class BatchScheduler:
@@ -69,6 +71,22 @@ class BatchScheduler:
     backend_options:
         Per-backend-name constructor kwargs, e.g.
         ``{"modeled-gpu": {"device": "RTX 3080"}}``.
+    max_wait_s:
+        Latency budget per queue: :meth:`poll` dispatches any queue whose
+        *oldest* message has waited at least this long, so a trickle of
+        traffic is never stranded below the batch-size target.  ``None``
+        (the default) keeps the original size-only behaviour.
+    max_retained:
+        Bound on the signed-result store.  When more than this many
+        unclaimed signatures are retained, the oldest are evicted
+        (FIFO by signing order; ``evicted`` counts them).  ``None``
+        retains everything.
+    on_dispatch:
+        Hook called with each batch's :class:`BatchStats` right after
+        dispatch — the attachment point for service telemetry.
+    clock:
+        Monotonic time source for queue-age accounting (injectable for
+        deterministic tests).
 
     >>> sched = BatchScheduler(target_batch_size=2, deterministic=True)
     >>> tickets = [sched.submit(b"a"), sched.submit(b"b")]  # dispatches
@@ -81,10 +99,20 @@ class BatchScheduler:
                  router: Router | None = None,
                  deterministic: bool = False,
                  verify: bool = False,
-                 backend_options: dict[str, dict] | None = None):
+                 backend_options: dict[str, dict] | None = None,
+                 max_wait_s: float | None = None,
+                 max_retained: int | None = None,
+                 on_dispatch: Callable[[BatchStats], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic):
         if target_batch_size < 1:
             raise BackendError(
                 f"target_batch_size must be >= 1, got {target_batch_size}"
+            )
+        if max_wait_s is not None and max_wait_s <= 0:
+            raise BackendError(f"max_wait_s must be > 0, got {max_wait_s}")
+        if max_retained is not None and max_retained < 1:
+            raise BackendError(
+                f"max_retained must be >= 1, got {max_retained}"
             )
         self.target_batch_size = target_batch_size
         self.default_backend = backend
@@ -92,6 +120,11 @@ class BatchScheduler:
         self.deterministic = deterministic
         self.verify = verify
         self.backend_options = backend_options or {}
+        self.max_wait_s = max_wait_s
+        self.max_retained = max_retained
+        self.on_dispatch = on_dispatch
+        self.clock = clock
+        self.evicted = 0
         self.batches: list[BatchStats] = []
         self._backends: dict[tuple[str, str], SigningBackend] = {}
         self._keys: dict[str, KeyPair] = {}
@@ -144,6 +177,7 @@ class BatchScheduler:
         queue = self._queues.setdefault((params_name, backend), _Queue())
         queue.tickets.append(ticket)
         queue.messages.append(message)
+        queue.enqueued.append(self.clock())
         if len(queue.messages) >= self.target_batch_size:
             self._dispatch((params_name, backend))
         return ticket
@@ -171,8 +205,19 @@ class BatchScheduler:
             verified = all(backend.verify_batch(
                 queue.messages, result.signatures, keys.public
             ))
+        if self.max_retained is not None:
+            # Never evict below the batch just stored: its caller has not
+            # had a chance to claim yet, and signature() returning None
+            # for a just-returned ticket is indistinguishable from
+            # "still queued".
+            bound = max(self.max_retained, len(queue.tickets))
+            while len(self._signatures) > bound:
+                self._signatures.pop(next(iter(self._signatures)))
+                self.evicted += 1
         stats = self._stats(result, verified)
         self.batches.append(stats)
+        if self.on_dispatch is not None:
+            self.on_dispatch(stats)
         return stats
 
     def _stats(self, result: BatchSignResult,
@@ -198,6 +243,35 @@ class BatchScheduler:
                 dispatched.append(stats)
         return dispatched
 
+    def poll(self, now: float | None = None) -> list[BatchStats]:
+        """Dispatch queues whose oldest message exceeded ``max_wait_s``.
+
+        The deadline half of deadline-aware batching for synchronous
+        callers: a driver loop calls :meth:`poll` periodically (an async
+        service uses real timers — see ``repro.service``) and partial
+        batches ship once their latency budget is spent.  No-op when
+        ``max_wait_s`` is None.
+        """
+        if self.max_wait_s is None:
+            return []
+        if now is None:
+            now = self.clock()
+        dispatched = []
+        for key, queue in list(self._queues.items()):
+            if queue.enqueued and now - queue.enqueued[0] >= self.max_wait_s:
+                stats = self._dispatch(key)
+                if stats is not None:
+                    dispatched.append(stats)
+        return dispatched
+
+    def oldest_wait_s(self, now: float | None = None) -> float | None:
+        """Age of the oldest queued message (None when nothing queued)."""
+        if now is None:
+            now = self.clock()
+        ages = [now - queue.enqueued[0]
+                for queue in self._queues.values() if queue.enqueued]
+        return max(ages) if ages else None
+
     def run(self, messages: Iterable[bytes], params: str = "128f",
             backend: str | None = None) -> list[int]:
         """Submit *messages*, flush, and return their tickets."""
@@ -212,9 +286,11 @@ class BatchScheduler:
     def signature(self, ticket: int) -> bytes | None:
         """Peek at the signature for *ticket* (None while still queued).
 
-        Signed results are retained until :meth:`claim`\\ ed; a
-        long-running service should claim tickets once redeemed or the
-        result store grows without bound (signatures are 17-50 KB each).
+        Signed results are retained until :meth:`claim`\\ ed (signatures
+        are 17-50 KB each).  A long-running service should claim tickets
+        once redeemed, or construct the scheduler with ``max_retained``
+        so the result store stays bounded — unclaimed signatures beyond
+        the bound are evicted oldest-first and counted in ``evicted``.
         """
         return self._signatures.get(ticket)
 

@@ -23,7 +23,7 @@ from ..errors import BackendError
 from ..hashes.thash import HashContext
 from ..params import SphincsParams
 from ..sphincs.merkle import SubtreeCache
-from ..sphincs.signer import KeyPair, Sphincs
+from ..sphincs.signer import KeyPair
 from .backend import BackendCapabilities, BatchSignResult, SigningBackend
 from .fastops import FastOps
 

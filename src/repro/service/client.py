@@ -1,0 +1,136 @@
+"""Async TCP client for the signing service protocol.
+
+One connection, many in-flight requests: every request carries an ``id``
+and a background reader task matches responses back to their futures, so
+callers can pipeline ``sign`` calls concurrently over a single socket —
+exactly how the load generator drives the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from ..errors import (KeystoreError, OverloadedError, ProtocolError,
+                      ServiceError)
+from . import protocol
+
+__all__ = ["ServiceClient"]
+
+_ERROR_TYPES = {
+    protocol.ERROR_OVERLOADED: OverloadedError,
+    protocol.ERROR_UNKNOWN_KEY: KeystoreError,
+    protocol.ERROR_PROTOCOL: ProtocolError,
+}
+
+
+class ServiceClient:
+    """Pipelined newline-delimited JSON client (see :mod:`.protocol`)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 7744) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=protocol.LINE_LIMIT)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._fail_pending(ServiceError("client closed"))
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> bool:
+        return (await self.request({"op": "ping"}))["ok"] is True
+
+    async def stats(self) -> dict:
+        """The server's telemetry snapshot (render with
+        :func:`repro.service.telemetry.render_snapshot`)."""
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def sign(self, message: bytes, tenant: str,
+                   key_name: str = "default",
+                   deadline_ms: float | None = None) -> dict:
+        """Sign *message*; returns the response dict with ``signature``
+        decoded to bytes (plus ``batch_size``, ``wait_ms``, ``total_ms``,
+        ``params``, ``backend``)."""
+        request = {"op": "sign", "tenant": tenant, "key": key_name,
+                   "message": protocol.pack_bytes(message)}
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        response = await self.request(request)
+        response["signature"] = protocol.unpack_bytes(
+            response["signature"], name="signature")
+        return response
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request and await its matched response.
+
+        Raises the typed error for ``ok: false`` responses
+        (:class:`OverloadedError` for load-shed, :class:`KeystoreError`
+        for unknown tenant/key, ...).
+        """
+        if self._read_task.done():
+            # The reader has exited (server closed the socket): a future
+            # registered now could never be resolved, and a write into
+            # the half-closed socket would not even error.
+            raise ServiceError("connection closed; reconnect to continue")
+        request_id = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(protocol.encode(
+                {**payload, "id": request_id}))
+            await self._writer.drain()
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        if not response.get("ok"):
+            error_type = _ERROR_TYPES.get(response.get("error"),
+                                          ServiceError)
+            raise error_type(response.get("detail",
+                                          "service reported an error"))
+        return response
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Exception = ServiceError("connection closed by server")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = protocol.decode(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            error = ServiceError("client closed")
+            raise
+        except Exception as exc:  # noqa: BLE001 — surfaced via futures
+            error = ServiceError(f"connection error: {exc}")
+        finally:
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()

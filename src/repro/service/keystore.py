@@ -1,0 +1,209 @@
+"""Multi-tenant keystore: named keys, per-tenant parameter set, persistence.
+
+A tenant is a named customer of the signing service.  Each tenant is
+pinned to one SPHINCS+ parameter set (all of its keys share it — that is
+what lets the batcher group a tenant's traffic into one ``sign_batch``
+call) and owns any number of named key pairs.
+
+Persistence is one JSON file per tenant under the keystore root::
+
+    <root>/
+      acme.json      {"tenant": "acme", "params": "SPHINCS+-128f",
+                      "keys": {"default": {"sk_seed": <hex>, ...}}}
+      edge-fleet.json
+
+Every save writes the whole tenant file to ``<name>.json.tmp`` and then
+``os.replace``\\ s it over the live file, so a crash mid-write can never
+leave a torn keystore — readers see the old file or the new one, nothing
+in between.  A :class:`Keystore` constructed without a root keeps
+everything in memory (tests, demos, ephemeral services).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import KeystoreError
+from ..params import get_params
+from ..sphincs.signer import KeyPair, Sphincs
+
+__all__ = ["Keystore", "TenantRecord", "derive_seed"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+_KEY_FIELDS = ("sk_seed", "sk_prf", "pk_seed", "pk_root")
+
+
+def derive_seed(label: str, n: int) -> bytes:
+    """A deterministic ``3n``-byte keygen seed derived from *label*.
+
+    Used by deterministic services (demos, CI smoke runs) so a tenant's
+    key is reproducible without storing seeds out of band.  Not for
+    production keys — those come from ``os.urandom`` via ``seed=None``.
+    """
+    out = b""
+    counter = 0
+    while len(out) < 3 * n:
+        out += hashlib.sha256(f"{label}#{counter}".encode()).digest()
+        counter += 1
+    return out[:3 * n]
+
+
+@dataclass
+class TenantRecord:
+    """One tenant: its parameter set and named key pairs."""
+
+    name: str
+    params: str  # canonical name, e.g. "SPHINCS+-128f"
+    keys: dict[str, KeyPair] = field(default_factory=dict)
+
+
+class Keystore:
+    """Tenant and key registry with optional on-disk persistence."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else None
+        self._tenants: dict[str, TenantRecord] = {}
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.root.glob("*.json")):
+                record = self._load_tenant(path)
+                self._tenants[record.name] = record
+
+    # ------------------------------------------------------------------
+    # Tenant and key management
+    # ------------------------------------------------------------------
+    def add_tenant(self, name: str, params: str = "128f",
+                   exist_ok: bool = False) -> TenantRecord:
+        """Register tenant *name* on parameter set *params*."""
+        if not _NAME_RE.match(name):
+            raise KeystoreError(
+                f"invalid tenant name {name!r}: use letters, digits, "
+                "'.', '_', '-'"
+            )
+        existing = self._tenants.get(name)
+        params_name = get_params(params).name
+        if existing is not None:
+            if not exist_ok:
+                raise KeystoreError(f"tenant {name!r} already exists")
+            if existing.params != params_name:
+                raise KeystoreError(
+                    f"tenant {name!r} is pinned to {existing.params}, "
+                    f"not {params_name}"
+                )
+            return existing
+        record = TenantRecord(name=name, params=params_name)
+        self._tenants[name] = record
+        self._save(record)
+        return record
+
+    def generate_key(self, tenant: str, key_name: str = "default",
+                     seed: bytes | None = None,
+                     exist_ok: bool = False) -> KeyPair:
+        """Generate (and persist) a named key pair for *tenant*."""
+        record = self._record(tenant)
+        if not _NAME_RE.match(key_name):
+            raise KeystoreError(f"invalid key name {key_name!r}")
+        if key_name in record.keys:
+            if exist_ok:
+                return record.keys[key_name]
+            raise KeystoreError(
+                f"key {key_name!r} already exists for tenant {tenant!r}"
+            )
+        keys = Sphincs(record.params).keygen(seed=seed)
+        record.keys[key_name] = keys
+        self._save(record)
+        return keys
+
+    def resolve(self, tenant: str, key_name: str = "default"
+                ) -> tuple[KeyPair, str]:
+        """Look up ``(key pair, canonical params name)`` for a request."""
+        record = self._record(tenant)
+        keys = record.keys.get(key_name)
+        if keys is None:
+            known = ", ".join(sorted(record.keys)) or "<none>"
+            raise KeystoreError(
+                f"tenant {tenant!r} has no key {key_name!r} (keys: {known})"
+            )
+        return keys, record.params
+
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(sorted(self._tenants))
+
+    def key_names(self, tenant: str) -> tuple[str, ...]:
+        return tuple(sorted(self._record(tenant).keys))
+
+    def params_for(self, tenant: str) -> str:
+        return self._record(tenant).params
+
+    def _record(self, tenant: str) -> TenantRecord:
+        record = self._tenants.get(tenant)
+        if record is None:
+            known = ", ".join(self.tenants()) or "<none>"
+            raise KeystoreError(
+                f"unknown tenant {tenant!r} (tenants: {known})"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _save(self, record: TenantRecord) -> None:
+        if self.root is None:
+            return
+        payload = {
+            "tenant": record.name,
+            "params": record.params,
+            "keys": {
+                key_name: {f: getattr(keys, f).hex() for f in _KEY_FIELDS}
+                for key_name, keys in sorted(record.keys.items())
+            },
+        }
+        path = self.root / f"{record.name}.json"
+        tmp = path.with_name(path.name + ".tmp")
+        # 0600: the file holds secret key material (sk_seed, sk_prf).
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def _load_tenant(self, path: Path) -> TenantRecord:
+        try:
+            payload = json.loads(path.read_text())
+            name = payload["tenant"]
+            # The write-path name rules apply on load too: a tampered
+            # payload must not smuggle in a name that escapes the root or
+            # diverges from its file (a later _save would write elsewhere
+            # and leave this record to resurrect as a duplicate).
+            if not isinstance(name, str) or not _NAME_RE.match(name):
+                raise KeystoreError(
+                    f"{path.name}: invalid tenant name {name!r}"
+                )
+            if name != path.stem:
+                raise KeystoreError(
+                    f"{path.name}: names tenant {name!r}, expected "
+                    f"{path.stem!r}"
+                )
+            params = get_params(payload["params"]).name
+            n = get_params(params).n
+            keys = {}
+            for key_name, fields in payload["keys"].items():
+                material = {f: bytes.fromhex(fields[f]) for f in _KEY_FIELDS}
+                if any(len(v) != n for v in material.values()):
+                    raise KeystoreError(
+                        f"{path.name}: key {key_name!r} components must be "
+                        f"{n} bytes for {params}"
+                    )
+                keys[key_name] = KeyPair(**material)
+        except KeystoreError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise KeystoreError(
+                f"corrupt keystore file {path.name}: {exc}"
+            ) from exc
+        return TenantRecord(name=name, params=params, keys=keys)

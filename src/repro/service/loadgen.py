@@ -1,0 +1,209 @@
+"""Workload generation: arrival traces and an async load driver.
+
+The paper's batching argument lives or dies on arrival patterns — a
+batcher tuned on uniform traffic falls over on bursts.  This module
+produces three canonical traces as lists of arrival *offsets* (seconds
+from test start):
+
+``poisson``
+    Memoryless arrivals at a mean rate — the classic open-loop model of
+    many independent clients.
+``bursty``
+    On/off traffic: bursts of back-to-back requests separated by idle
+    gaps, with the same long-run mean rate.  The stress test for
+    deadline-aware dispatch (a burst fills batches instantly; the lone
+    straggler after a burst must ride its deadline out).
+``ramp``
+    Arrival rate climbing linearly from ``rate/4`` to ``2*rate`` — finds
+    the knee where queueing (and then load-shedding) sets in.
+
+Traces are deterministic under a seed via a private ``random.Random``.
+:class:`LoadGenerator` replays a trace against any async ``signer``
+callable (the TCP client, or the in-process service API) and aggregates
+client-observed latencies, shed/failure counts, and server-reported batch
+sizes into a :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable
+
+from ..errors import OverloadedError, ServiceError
+from .telemetry import percentile
+
+__all__ = ["TRACES", "make_trace", "poisson_trace", "bursty_trace",
+           "ramp_trace", "LoadGenerator", "LoadReport"]
+
+
+def poisson_trace(n: int, rate: float, seed: int = 0) -> list[float]:
+    """*n* Poisson arrivals at mean *rate* requests/second."""
+    _check(n, rate)
+    rng = random.Random(seed)
+    offsets, now = [], 0.0
+    for _ in range(n):
+        now += rng.expovariate(rate)
+        offsets.append(now)
+    return offsets
+
+
+def bursty_trace(n: int, rate: float, burst: int = 8,
+                 seed: int = 0) -> list[float]:
+    """*n* arrivals in back-to-back bursts of *burst*, mean rate *rate*.
+
+    Requests within a burst arrive simultaneously; bursts are separated
+    by ``burst/rate`` seconds (plus small seeded jitter) so the long-run
+    offered rate matches *rate*.
+    """
+    _check(n, rate)
+    if burst < 1:
+        raise ServiceError(f"burst must be >= 1, got {burst}")
+    rng = random.Random(seed)
+    offsets, burst_start = [], 0.0
+    remaining = n
+    while remaining > 0:
+        size = min(burst, remaining)
+        offsets.extend([burst_start] * size)
+        remaining -= size
+        gap = burst / rate
+        burst_start += gap * rng.uniform(0.8, 1.2)
+    return offsets
+
+
+def ramp_trace(n: int, rate: float, seed: int = 0) -> list[float]:
+    """*n* arrivals ramping linearly from ``rate/4`` up to ``2*rate``."""
+    _check(n, rate)
+    rng = random.Random(seed)
+    start_rate, end_rate = rate / 4.0, rate * 2.0
+    offsets, now = [], 0.0
+    for i in range(n):
+        frac = i / (n - 1) if n > 1 else 1.0
+        current = start_rate + (end_rate - start_rate) * frac
+        now += rng.expovariate(current)
+        offsets.append(now)
+    return offsets
+
+
+TRACES: dict[str, Callable[..., list[float]]] = {
+    "poisson": poisson_trace,
+    "bursty": bursty_trace,
+    "ramp": ramp_trace,
+}
+
+
+def make_trace(name: str, n: int, rate: float, seed: int = 0,
+               **kwargs) -> list[float]:
+    """Build the named trace; see :data:`TRACES` for the choices."""
+    try:
+        factory = TRACES[name]
+    except KeyError:
+        known = ", ".join(sorted(TRACES))
+        raise ServiceError(
+            f"unknown trace {name!r}; choose from: {known}"
+        ) from None
+    return factory(n, rate, seed=seed, **kwargs)
+
+
+def _check(n: int, rate: float) -> None:
+    if n < 1:
+        raise ServiceError(f"trace length must be >= 1, got {n}")
+    if rate <= 0:
+        raise ServiceError(f"arrival rate must be > 0, got {rate}")
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+#: ``signer(message) -> response`` — the response only needs to be a dict
+#: with an optional ``batch_size`` (both :meth:`ServiceClient.sign` and a
+#: thin wrapper over ``SigningService.sign`` qualify).
+Signer = Callable[[bytes], Awaitable[object]]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    trace: str
+    offered: int
+    signed: int = 0
+    shed: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def offered_rate(self) -> float:
+        return self.offered / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.signed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_ms(self, p: float) -> float:
+        return round(percentile(self.latencies_ms, p), 3)
+
+    def table(self) -> str:
+        from ..analysis.reporting import format_table
+
+        return format_table(
+            ["trace", "offered", "signed", "shed", "failed", "wall s",
+             "req/s", "p50 ms", "p95 ms", "p99 ms"],
+            [[self.trace, self.offered, self.signed, self.shed,
+              self.failed, round(self.elapsed_s, 2),
+              round(self.achieved_rate, 2), self.latency_ms(50),
+              self.latency_ms(95), self.latency_ms(99)]],
+            title="Load generation (client-observed latency)",
+        )
+
+
+class LoadGenerator:
+    """Replay an arrival trace against an async signer."""
+
+    def __init__(self, signer: Signer,
+                 message_factory: Callable[[int], bytes] | None = None,
+                 time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ServiceError(f"time_scale must be > 0, got {time_scale}")
+        self._signer = signer
+        self._message_factory = (message_factory or
+                                 (lambda i: f"loadgen message #{i}".encode()))
+        self._time_scale = time_scale
+
+    async def run(self, offsets: list[float],
+                  trace: str = "custom") -> LoadReport:
+        """Issue one request per offset (scaled); returns the report."""
+        report = LoadReport(trace=trace, offered=len(offsets))
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
+        async def one(index: int, offset: float) -> None:
+            delay = start + offset * self._time_scale - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            issued = loop.time()
+            try:
+                response = await self._signer(self._message_factory(index))
+            except OverloadedError:
+                report.shed += 1
+                return
+            except Exception:  # noqa: BLE001 — loadgen counts, not raises
+                report.failed += 1
+                return
+            report.signed += 1
+            report.latencies_ms.append((loop.time() - issued) * 1000.0)
+            if isinstance(response, dict) and "batch_size" in response:
+                report.batch_sizes.append(response["batch_size"])
+            else:
+                batch_size = getattr(response, "batch_size", None)
+                if batch_size is not None:
+                    report.batch_sizes.append(batch_size)
+
+        await asyncio.gather(*(one(i, offset)
+                               for i, offset in enumerate(offsets)))
+        report.elapsed_s = loop.time() - start
+        return report

@@ -1,0 +1,80 @@
+"""The wire protocol: one JSON object per line, UTF-8, ``\\n``-terminated.
+
+Requests carry an ``op`` (``sign`` / ``stats`` / ``ping``) and an optional
+``id`` the server echoes back, so a client may pipeline many requests on
+one connection and match responses out of order.  Binary fields (message
+payloads, signatures) travel base64-encoded.
+
+Request shapes::
+
+    {"op": "ping", "id": 1}
+    {"op": "stats", "id": 2}
+    {"op": "sign", "id": 3, "tenant": "acme", "key": "default",
+     "message": "<base64>", "deadline_ms": 100}
+
+Responses always carry ``ok``.  Success::
+
+    {"ok": true, "op": "sign", "id": 3, "signature": "<base64>",
+     "params": "SPHINCS+-128f", "backend": "vectorized",
+     "batch_size": 4, "wait_ms": 12.5, "total_ms": 96.1}
+
+Failure (``error`` is a stable machine-readable code)::
+
+    {"ok": false, "id": 3, "error": "overloaded", "detail": "..."}
+
+Signatures reach ~50 KB (~67 KB base64), beyond asyncio's 64 KB default
+stream limit — both ends must read with :data:`LINE_LIMIT`.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+
+from ..errors import ProtocolError
+
+__all__ = ["LINE_LIMIT", "encode", "decode", "pack_bytes", "unpack_bytes"]
+
+#: Stream limit for readline() on both ends; comfortably above the largest
+#: base64-encoded SPHINCS+ signature (256s: 29,792 B raw -> ~40 KB b64).
+LINE_LIMIT = 1 << 20
+
+#: Machine-readable error codes the server emits.
+ERROR_OVERLOADED = "overloaded"
+ERROR_UNKNOWN_KEY = "unknown-key"
+ERROR_PROTOCOL = "protocol"
+ERROR_INTERNAL = "internal"
+
+
+def encode(message: dict) -> bytes:
+    """Serialize one protocol message to a wire line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on junk."""
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def pack_bytes(data: bytes) -> str:
+    """Binary -> base64 text field."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def unpack_bytes(field: object, name: str = "message") -> bytes:
+    """Base64 text field -> binary; raises :class:`ProtocolError`."""
+    if not isinstance(field, str):
+        raise ProtocolError(f"{name!r} must be a base64 string")
+    try:
+        return base64.b64decode(field, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ProtocolError(f"{name!r} is not valid base64: {exc}") from exc

@@ -1,0 +1,337 @@
+"""The async signing service and its TCP front end.
+
+:class:`SigningService` is the in-process API: ``await service.sign(...)``
+resolves the request through the keystore, applies admission control,
+queues it on the deadline-aware batcher, and returns a
+:class:`SignOutcome` once the batch it rode in comes back from a runtime
+backend.  :class:`SigningServer` fronts a service with the
+newline-delimited JSON protocol over TCP (see :mod:`.protocol`).
+
+Design notes
+------------
+* **Batches share a key pair.**  Queues are keyed ``(tenant, key)``; the
+  dispatch path signs a batch with one ``sign_batch`` call on the cached
+  backend for the tenant's parameter set.
+* **Signing runs off the event loop.**  ``sign_batch`` is CPU-bound
+  Python, so dispatch hands it to the default executor; a single dispatch
+  lock serializes batches because the vectorized backend's caches are not
+  thread-safe and the GIL would serialize the hashing anyway.
+* **Admission control sheds early.**  If queued depth has reached
+  ``max_pending``, :meth:`SigningService.sign` raises
+  :class:`OverloadedError` *before* queueing — the client gets an
+  explicit load-shed response instead of a silently growing tail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..errors import (KeystoreError, OverloadedError, ProtocolError,
+                      ServiceError)
+from ..runtime.backend import SigningBackend
+from ..runtime.registry import get_backend
+from . import protocol
+from .batcher import DeadlineBatcher, PendingSign, QueueKey
+from .keystore import Keystore
+from .telemetry import Telemetry, render_snapshot
+
+__all__ = ["SignOutcome", "SigningService", "SigningServer"]
+
+
+@dataclass(frozen=True)
+class SignOutcome:
+    """What an in-process caller gets back for one signed request."""
+
+    signature: bytes
+    tenant: str
+    key_name: str
+    params: str
+    backend: str
+    batch_size: int
+    wait_ms: float   # enqueue -> batch dispatch started
+    total_ms: float  # enqueue -> signature available
+
+
+class SigningService:
+    """Deadline-batched, multi-tenant signing over the runtime backends."""
+
+    def __init__(self, keystore: Keystore | None = None,
+                 backend: str = "vectorized",
+                 target_batch_size: int = 16,
+                 max_wait_s: float = 0.1,
+                 max_pending: int = 256,
+                 deterministic: bool = False,
+                 backend_options: dict[str, dict] | None = None,
+                 telemetry: Telemetry | None = None):
+        if max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.keystore = keystore if keystore is not None else Keystore()
+        self.backend_name = backend
+        self.max_pending = max_pending
+        self.deterministic = deterministic
+        self.backend_options = backend_options or {}
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.batcher = DeadlineBatcher(
+            self._dispatch, target_batch_size=target_batch_size,
+            max_wait_s=max_wait_s,
+        )
+        self._backends: dict[str, SigningBackend] = {}
+        self._sign_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    # In-process client API
+    # ------------------------------------------------------------------
+    async def sign(self, message: bytes, tenant: str,
+                   key_name: str = "default",
+                   deadline_ms: float | None = None) -> SignOutcome:
+        """Sign *message* under the tenant's named key.
+
+        ``deadline_ms`` is the request's *queue-wait* budget: the longest
+        it may wait for its batch to fill before dispatch is forced.  It
+        does not bound signing time itself.  Raises
+        :class:`KeystoreError` for unknown tenants/keys and
+        :class:`OverloadedError` when the service sheds the request.
+        """
+        self.keystore.resolve(tenant, key_name)  # fail fast, before queueing
+        # Dispatched-but-unsigned requests (batcher.in_flight) still hold
+        # capacity: batches serialize behind the sign lock, so sustained
+        # overload must shed instead of piling batches up there.
+        depth = self.batcher.pending + self.batcher.in_flight
+        if depth >= self.max_pending:
+            self.telemetry.record_shed(tenant)
+            raise OverloadedError(
+                f"queue depth {depth} at watermark {self.max_pending}; "
+                "request shed"
+            )
+        self.telemetry.record_submitted(tenant)
+        self.telemetry.observe_depth(depth + 1)
+        budget_s = None if deadline_ms is None else deadline_ms / 1000.0
+        return await self.batcher.submit(tenant, key_name, message,
+                                         budget_s=budget_s)
+
+    async def drain(self) -> None:
+        """Dispatch and await everything still queued (shutdown path)."""
+        await self.batcher.flush()
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch (called by the batcher)
+    # ------------------------------------------------------------------
+    def _backend_for(self, params_name: str) -> SigningBackend:
+        instance = self._backends.get(params_name)
+        if instance is None:
+            instance = get_backend(
+                self.backend_name, params_name,
+                deterministic=self.deterministic,
+                **self.backend_options.get(self.backend_name, {}),
+            )
+            self._backends[params_name] = instance
+        return instance
+
+    async def _dispatch(self, queue_key: QueueKey,
+                        batch: list[PendingSign]) -> None:
+        tenant, key_name = queue_key
+        loop = asyncio.get_running_loop()
+        try:
+            keys, params_name = self.keystore.resolve(tenant, key_name)
+            backend = self._backend_for(params_name)
+            messages = [request.message for request in batch]
+            async with self._sign_lock:
+                dispatch_started = loop.time()
+                result = await loop.run_in_executor(
+                    None, backend.sign_batch, messages, keys)
+            if len(result.signatures) != len(batch):
+                raise ServiceError(
+                    f"backend {self.backend_name!r} returned "
+                    f"{len(result.signatures)} signatures for "
+                    f"{len(batch)} messages"
+                )
+        except Exception:
+            self.telemetry.record_failed(tenant, len(batch))
+            raise  # the batcher forwards this to every future in the batch
+        done = loop.time()
+        self.telemetry.record_batch(len(batch))
+        for request, signature in zip(batch, result.signatures):
+            wait_ms = (dispatch_started - request.enqueued_at) * 1000.0
+            total_ms = (done - request.enqueued_at) * 1000.0
+            self.telemetry.record_signed(tenant, total_ms, wait_ms)
+            if not request.future.done():
+                request.future.set_result(SignOutcome(
+                    signature=signature, tenant=tenant, key_name=key_name,
+                    params=params_name, backend=result.backend,
+                    batch_size=len(batch), wait_ms=round(wait_ms, 3),
+                    total_ms=round(total_ms, 3),
+                ))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Telemetry snapshot plus live queue depth and configuration."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["queue"]["depth"] = (self.batcher.pending
+                                      + self.batcher.in_flight)
+        snapshot["config"] = {
+            "backend": self.backend_name,
+            "target_batch_size": self.batcher.target_batch_size,
+            "max_wait_ms": round(self.batcher.max_wait_s * 1000.0, 3),
+            "max_pending": self.max_pending,
+            "tenants": {name: self.keystore.params_for(name)
+                        for name in self.keystore.tenants()},
+        }
+        return snapshot
+
+    def report(self, title: str = "Signing service telemetry") -> str:
+        return render_snapshot(self.stats(), title=title)
+
+
+class SigningServer:
+    """Serve a :class:`SigningService` over newline-delimited JSON TCP."""
+
+    def __init__(self, service: SigningService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.LINE_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Drain queued work, then close the listener and connections."""
+        await self.service.drain()
+        self.service.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Close transports (not cancel) so handlers see EOF and exit their
+        # loops normally — cancelling them trips asyncio's stream callback.
+        for writer in list(self._connections.values()):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*list(self._connections),
+                                 return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        connection = asyncio.current_task()
+        if connection is not None:
+            self._connections[connection] = writer
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, write_lock, {
+                        "ok": False, "error": protocol.ERROR_PROTOCOL,
+                        "detail": "line too long",
+                    })
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # Each request runs as its own task so a client can
+                # pipeline: a slow sign never blocks a ping or stats.
+                task = loop.create_task(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if connection is not None:
+                self._connections.pop(connection, None)
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        request_id = None
+        try:
+            request = protocol.decode(line)
+            request_id = request.get("id")
+            response = await self._serve_request(request)
+        except ProtocolError as exc:
+            response = {"ok": False, "error": protocol.ERROR_PROTOCOL,
+                        "detail": str(exc)}
+        except OverloadedError as exc:
+            response = {"ok": False, "error": protocol.ERROR_OVERLOADED,
+                        "detail": str(exc)}
+        except KeystoreError as exc:
+            response = {"ok": False, "error": protocol.ERROR_UNKNOWN_KEY,
+                        "detail": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — report, don't kill the conn
+            response = {"ok": False, "error": protocol.ERROR_INTERNAL,
+                        "detail": f"{type(exc).__name__}: {exc}"}
+        if request_id is not None:
+            response["id"] = request_id
+        await self._send(writer, write_lock, response)
+
+    async def _serve_request(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {"ok": True, "op": "stats", "stats": self.service.stats()}
+        if op == "sign":
+            tenant = request.get("tenant")
+            key_name = request.get("key", "default")
+            if not isinstance(tenant, str) or not isinstance(key_name, str):
+                raise ProtocolError("'tenant' and 'key' must be strings")
+            message = protocol.unpack_bytes(request.get("message"))
+            deadline_ms = request.get("deadline_ms")
+            if deadline_ms is not None and (
+                    not isinstance(deadline_ms, (int, float))
+                    or deadline_ms < 0):
+                raise ProtocolError("'deadline_ms' must be a number >= 0")
+            outcome = await self.service.sign(
+                message, tenant, key_name=key_name, deadline_ms=deadline_ms)
+            return {
+                "ok": True, "op": "sign",
+                "signature": protocol.pack_bytes(outcome.signature),
+                "params": outcome.params,
+                "backend": outcome.backend,
+                "batch_size": outcome.batch_size,
+                "wait_ms": outcome.wait_ms,
+                "total_ms": outcome.total_ms,
+            }
+        raise ProtocolError(f"unknown op {op!r}")
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, write_lock: asyncio.Lock,
+                    response: dict) -> None:
+        try:
+            async with write_lock:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to report to

@@ -1,0 +1,172 @@
+"""Service telemetry: counters, batch-size histogram, latency percentiles.
+
+One :class:`Telemetry` instance rides along with a signing service and
+records everything its dashboard needs: per-tenant request counters
+(submitted / signed / shed / failed), the batch-size histogram that shows
+what the deadline-aware batcher actually dispatched, queue-depth peaks,
+and reservoirs of end-to-end and queue-wait latencies from which p50/p95/
+p99 are computed.
+
+Everything is exposed two ways: :meth:`Telemetry.snapshot` returns a
+JSON-safe dict (what the ``stats`` protocol verb ships over the wire) and
+:func:`render_snapshot` renders any such dict — local or received from a
+remote service — as the human-readable report the CLI prints.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Telemetry", "TenantCounters", "percentile", "render_snapshot"]
+
+#: Keep this many most-recent latency samples per reservoir.  Old samples
+#: roll off so a long-lived service reports *current* tail latency, and the
+#: snapshot stays bounded no matter how much traffic has passed through.
+LATENCY_WINDOW = 4096
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile of *samples* (``p`` in 0..100); 0.0 if empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class TenantCounters:
+    """Request accounting for one tenant."""
+
+    submitted: int = 0
+    signed: int = 0
+    shed: int = 0
+    failed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"submitted": self.submitted, "signed": self.signed,
+                "shed": self.shed, "failed": self.failed}
+
+
+class Telemetry:
+    """Accumulates service metrics; cheap to record, snapshot on demand."""
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW):
+        self.tenants: dict[str, TenantCounters] = {}
+        self.batch_histogram: dict[int, int] = {}
+        self.batches = 0
+        self.peak_depth = 0
+        self._total_ms: deque[float] = deque(maxlen=latency_window)
+        self._wait_ms: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _tenant(self, tenant: str) -> TenantCounters:
+        counters = self.tenants.get(tenant)
+        if counters is None:
+            counters = self.tenants[tenant] = TenantCounters()
+        return counters
+
+    def record_submitted(self, tenant: str) -> None:
+        self._tenant(tenant).submitted += 1
+
+    def record_shed(self, tenant: str) -> None:
+        counters = self._tenant(tenant)
+        counters.submitted += 1
+        counters.shed += 1
+
+    def record_failed(self, tenant: str, count: int = 1) -> None:
+        self._tenant(tenant).failed += count
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+
+    def record_signed(self, tenant: str, total_ms: float,
+                      wait_ms: float) -> None:
+        self._tenant(tenant).signed += 1
+        self._total_ms.append(total_ms)
+        self._wait_ms.append(wait_ms)
+
+    def observe_depth(self, depth: int) -> None:
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _latency_summary(samples: deque[float]) -> dict[str, float]:
+        values = list(samples)
+        return {
+            "count": len(values),
+            "mean": round(sum(values) / len(values), 3) if values else 0.0,
+            "p50": round(percentile(values, 50), 3),
+            "p95": round(percentile(values, 95), 3),
+            "p99": round(percentile(values, 99), 3),
+            "max": round(max(values), 3) if values else 0.0,
+        }
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dict of every metric (the ``stats`` verb payload)."""
+        return {
+            "tenants": {name: counters.as_dict()
+                        for name, counters in sorted(self.tenants.items())},
+            "batches": {
+                "dispatched": self.batches,
+                # JSON object keys must be strings; sizes sort numerically
+                # again in render_snapshot.
+                "histogram": {str(size): count for size, count
+                              in sorted(self.batch_histogram.items())},
+            },
+            "queue": {"peak_depth": self.peak_depth},
+            "latency_ms": {
+                "total": self._latency_summary(self._total_ms),
+                "wait": self._latency_summary(self._wait_ms),
+            },
+        }
+
+    def report(self, title: str = "Signing service telemetry") -> str:
+        return render_snapshot(self.snapshot(), title=title)
+
+
+def render_snapshot(snapshot: dict, title: str = "Signing service telemetry") -> str:
+    """Render a :meth:`Telemetry.snapshot` dict (local or remote) as text."""
+    from ..analysis.reporting import format_table
+
+    sections = [format_table(
+        ["tenant", "submitted", "signed", "shed", "failed"],
+        [[name, c.get("submitted", 0), c.get("signed", 0),
+          c.get("shed", 0), c.get("failed", 0)]
+         for name, c in snapshot.get("tenants", {}).items()],
+        title=title,
+    )]
+
+    batches = snapshot.get("batches", {})
+    histogram = batches.get("histogram", {})
+    sections.append(format_table(
+        ["batch size", "batches"],
+        [[size, histogram[str(size)]]
+         for size in sorted(int(k) for k in histogram)],
+        title=f"Batch-size histogram ({batches.get('dispatched', 0)} "
+              "batches dispatched)",
+    ))
+
+    latency = snapshot.get("latency_ms", {})
+    sections.append(format_table(
+        ["latency (ms)", "count", "mean", "p50", "p95", "p99", "max"],
+        [[label, s.get("count", 0), s.get("mean", 0.0), s.get("p50", 0.0),
+          s.get("p95", 0.0), s.get("p99", 0.0), s.get("max", 0.0)]
+         for label, s in (("total", latency.get("total", {})),
+                          ("queue wait", latency.get("wait", {})))],
+        title="Latency percentiles",
+    ))
+
+    queue = snapshot.get("queue", {})
+    depth = (f"queue depth: {queue['depth']} now, "
+             if "depth" in queue else "queue depth: ")
+    sections.append(f"{depth}{queue.get('peak_depth', 0)} peak")
+    return "\n\n".join(sections)

@@ -17,7 +17,7 @@ from ..hashes.address import Address, AddressType
 from ..hashes.thash import HashContext
 from ..params import SphincsParams
 from .encoding import message_to_indices
-from .merkle import auth_path, root_from_auth, treehash
+from .merkle import auth_path
 
 __all__ = ["Fors", "ForsSignature"]
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.gpusim.device import DEVICES, get_device
 from repro.gpusim.engine import TimingEngine
-from repro.params import FAST_SETS, get_params
+from repro.params import get_params
 
 
 @pytest.fixture(scope="session")

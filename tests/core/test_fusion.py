@@ -1,8 +1,7 @@
 """FORS fusion planning and Relax-FORS tests."""
 
-import pytest
 
-from repro.core.fusion import ForsPlan, needs_relax, plan_fors
+from repro.core.fusion import needs_relax, plan_fors
 from repro.params import get_params
 
 SMEM = 48 * 1024

@@ -2,7 +2,6 @@
 parameter layer's analytical counts, barriers must match the fusion plan,
 and every launch must be valid on the target device."""
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import TuningError
-from repro.core.tree_tuning import TuningCandidate, tree_tuning_search
+from repro.core.tree_tuning import tree_tuning_search
 from repro.params import SphincsParams, get_params
 
 SMEM_48K = 48 * 1024

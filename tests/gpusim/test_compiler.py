@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import GpuModelError
 from repro.gpusim.compiler import Branch, CompilerModel, KERNEL_NAMES
-from repro.gpusim.instructions import IADD3, MAD, PRMT, SHL
+from repro.gpusim.instructions import MAD, PRMT, SHL
 from repro.params import get_params
 
 

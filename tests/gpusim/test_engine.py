@@ -1,9 +1,7 @@
 """Timing-engine tests: bounds, monotonicity, and mechanism directions."""
 
-import pytest
 
 from repro.gpusim.compiler import Branch, CompilerModel
-from repro.gpusim.engine import TimingEngine
 from repro.gpusim.kernel import KernelWorkload, LaunchConfig, WorkloadPhase
 from repro.params import get_params
 

@@ -57,8 +57,8 @@ class TestSequentialStream:
 class TestConcurrency:
     def test_independent_streams_overlap(self, rtx4090):
         tl = _timeline(rtx4090)
-        a = tl.launch(tl.stream("a"), "a", 1e-3, demand=0.5)
-        b = tl.launch(tl.stream("b"), "b", 1e-3, demand=0.5)
+        tl.launch(tl.stream("a"), "a", 1e-3, demand=0.5)
+        tl.launch(tl.stream("b"), "b", 1e-3, demand=0.5)
         result = tl.run()
         # Both fit simultaneously: makespan ~ max, not sum.
         assert result.makespan_s < 1.5e-3

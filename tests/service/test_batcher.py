@@ -1,0 +1,179 @@
+"""Deadline-aware dispatch: size-or-deadline, whichever comes first."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import DeadlineBatcher
+
+
+def make_recording_batcher(**kwargs):
+    """A batcher whose dispatch just records batches and echoes messages."""
+    dispatched = []
+
+    async def dispatch(queue_key, batch):
+        dispatched.append((queue_key, [r.message for r in batch]))
+        for request in batch:
+            request.future.set_result(request.message)
+
+    return DeadlineBatcher(dispatch, **kwargs), dispatched
+
+
+class TestDeadlineDispatch:
+    def test_lone_request_ships_within_budget(self):
+        """A single sub-batch-size request must ride its deadline out and
+        get signed — never stranded waiting for a batch to fill."""
+        async def scenario():
+            batcher, dispatched = make_recording_batcher(
+                target_batch_size=64, max_wait_s=0.05)
+            started = time.monotonic()
+            result = await asyncio.wait_for(
+                batcher.submit("t", "k", b"solo"), timeout=5)
+            waited = time.monotonic() - started
+            assert result == b"solo"
+            assert dispatched == [(("t", "k"), [b"solo"])]
+            # Dispatched by the 50 ms deadline timer, with generous CI
+            # headroom — nowhere near the 5 s stranded-timeout above.
+            assert waited < 2.0
+            assert batcher.pending == 0
+
+        asyncio.run(scenario())
+
+    def test_full_batch_dispatches_immediately(self):
+        async def scenario():
+            batcher, dispatched = make_recording_batcher(
+                target_batch_size=3, max_wait_s=30.0)
+            futures = [batcher.submit("t", "k", f"m{i}".encode())
+                       for i in range(3)]
+            results = await asyncio.wait_for(asyncio.gather(*futures),
+                                             timeout=2)
+            assert results == [b"m0", b"m1", b"m2"]
+            assert dispatched == [(("t", "k"), [b"m0", b"m1", b"m2"])]
+
+        asyncio.run(scenario())
+
+    def test_shorter_deadline_rearms_timer(self):
+        """A late request with a tighter budget pulls the dispatch in."""
+        async def scenario():
+            batcher, dispatched = make_recording_batcher(
+                target_batch_size=64, max_wait_s=30.0)
+            slow = batcher.submit("t", "k", b"patient", budget_s=30.0)
+            fast = batcher.submit("t", "k", b"urgent", budget_s=0.05)
+            await asyncio.wait_for(asyncio.gather(slow, fast), timeout=2)
+            # Both rode the urgent request's timer, as one batch.
+            assert dispatched == [(("t", "k"), [b"patient", b"urgent"])]
+
+        asyncio.run(scenario())
+
+    def test_queues_are_per_tenant_key(self):
+        async def scenario():
+            batcher, dispatched = make_recording_batcher(
+                target_batch_size=2, max_wait_s=30.0)
+            futures = [
+                batcher.submit("a", "k1", b"a1"),
+                batcher.submit("b", "k1", b"b1"),
+                batcher.submit("a", "k1", b"a2"),  # fills (a, k1)
+                batcher.submit("b", "k1", b"b2"),  # fills (b, k1)
+            ]
+            await asyncio.wait_for(asyncio.gather(*futures), timeout=2)
+            assert sorted(dispatched) == [
+                (("a", "k1"), [b"a1", b"a2"]),
+                (("b", "k1"), [b"b1", b"b2"]),
+            ]
+
+        asyncio.run(scenario())
+
+
+class TestInFlightAccounting:
+    def test_fired_batch_counted_before_dispatch_runs(self):
+        """No gap for admission control: the instant a queue fires, its
+        requests move from pending to in_flight synchronously — a
+        request is never invisible to pending + in_flight."""
+        async def scenario():
+            release = asyncio.Event()
+
+            async def dispatch(queue_key, batch):
+                await release.wait()
+                for request in batch:
+                    request.future.set_result(request.message)
+
+            batcher = DeadlineBatcher(dispatch, target_batch_size=2,
+                                      max_wait_s=30.0)
+            batcher.submit("t", "k", b"a")
+            assert (batcher.pending, batcher.in_flight) == (1, 0)
+            future = batcher.submit("t", "k", b"b")  # fires the batch
+            # Synchronously, before the dispatch task has even started:
+            assert (batcher.pending, batcher.in_flight) == (0, 2)
+            release.set()
+            await asyncio.wait_for(future, timeout=2)
+            assert (batcher.pending, batcher.in_flight) == (0, 0)
+
+        asyncio.run(scenario())
+
+    def test_in_flight_cleared_on_dispatch_failure(self):
+        async def scenario():
+            async def dispatch(queue_key, batch):
+                raise RuntimeError("boom")
+
+            batcher = DeadlineBatcher(dispatch, target_batch_size=1,
+                                      max_wait_s=30.0)
+            future = batcher.submit("t", "k", b"a")
+            with pytest.raises(RuntimeError):
+                await asyncio.wait_for(future, timeout=2)
+            assert batcher.in_flight == 0
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_flush_dispatches_partials(self):
+        async def scenario():
+            batcher, dispatched = make_recording_batcher(
+                target_batch_size=64, max_wait_s=30.0)
+            future = batcher.submit("t", "k", b"partial")
+            assert batcher.pending == 1
+            await batcher.flush()
+            assert await future == b"partial"
+            assert dispatched == [(("t", "k"), [b"partial"])]
+            assert batcher.pending == 0
+
+        asyncio.run(scenario())
+
+    def test_dispatch_failure_fails_futures(self):
+        async def scenario():
+            async def dispatch(queue_key, batch):
+                raise RuntimeError("backend exploded")
+
+            batcher = DeadlineBatcher(dispatch, target_batch_size=2,
+                                      max_wait_s=30.0)
+            futures = [batcher.submit("t", "k", b"a"),
+                       batcher.submit("t", "k", b"b")]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    await asyncio.wait_for(future, timeout=2)
+
+        asyncio.run(scenario())
+
+    def test_close_fails_queued_requests(self):
+        async def scenario():
+            batcher, _ = make_recording_batcher(
+                target_batch_size=64, max_wait_s=30.0)
+            future = batcher.submit("t", "k", b"doomed")
+            batcher.close()
+            with pytest.raises(ServiceError, match="closed"):
+                await future
+            with pytest.raises(ServiceError, match="closed"):
+                batcher.submit("t", "k", b"after close")
+
+        asyncio.run(scenario())
+
+    def test_constructor_validation(self):
+        async def noop(queue_key, batch):
+            pass
+
+        with pytest.raises(ServiceError, match="target_batch_size"):
+            DeadlineBatcher(noop, target_batch_size=0)
+        with pytest.raises(ServiceError, match="max_wait_s"):
+            DeadlineBatcher(noop, max_wait_s=0)

@@ -1,0 +1,148 @@
+"""Multi-tenant keystore: naming, resolution, atomic persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import KeystoreError
+from repro.service import Keystore, derive_seed
+from repro.sphincs.signer import Sphincs
+
+
+class TestTenants:
+    def test_add_and_resolve(self):
+        keystore = Keystore()
+        keystore.add_tenant("acme", "128f")
+        keys = keystore.generate_key("acme", "default", seed=bytes(48))
+        resolved, params = keystore.resolve("acme", "default")
+        assert resolved is keys
+        assert params == "SPHINCS+-128f"
+        assert keystore.tenants() == ("acme",)
+        assert keystore.key_names("acme") == ("default",)
+
+    def test_per_tenant_parameter_set(self):
+        keystore = Keystore()
+        keystore.add_tenant("small", "128s")
+        keystore.add_tenant("big", "256f")
+        keystore.generate_key("small", seed=bytes(48))
+        keystore.generate_key("big", seed=bytes(96))
+        _, params_small = keystore.resolve("small")
+        _, params_big = keystore.resolve("big")
+        assert params_small == "SPHINCS+-128s"
+        assert params_big == "SPHINCS+-256f"
+
+    def test_duplicate_tenant_rejected(self):
+        keystore = Keystore()
+        keystore.add_tenant("acme")
+        with pytest.raises(KeystoreError, match="already exists"):
+            keystore.add_tenant("acme")
+        # exist_ok tolerates a re-register on the same parameter set...
+        keystore.add_tenant("acme", exist_ok=True)
+        # ...but never a silent parameter-set change.
+        with pytest.raises(KeystoreError, match="pinned"):
+            keystore.add_tenant("acme", "192f", exist_ok=True)
+
+    def test_invalid_names_rejected(self):
+        keystore = Keystore()
+        for bad in ("../escape", "", "a/b", ".hidden"):
+            with pytest.raises(KeystoreError, match="invalid tenant name"):
+                keystore.add_tenant(bad)
+        keystore.add_tenant("ok")
+        with pytest.raises(KeystoreError, match="invalid key name"):
+            keystore.generate_key("ok", "../../etc/passwd")
+
+    def test_unknown_lookups(self):
+        keystore = Keystore()
+        with pytest.raises(KeystoreError, match="unknown tenant"):
+            keystore.resolve("ghost")
+        keystore.add_tenant("acme")
+        with pytest.raises(KeystoreError, match="no key 'missing'"):
+            keystore.resolve("acme", "missing")
+
+    def test_duplicate_key_rejected(self):
+        keystore = Keystore()
+        keystore.add_tenant("acme")
+        keys = keystore.generate_key("acme", seed=bytes(48))
+        with pytest.raises(KeystoreError, match="already exists"):
+            keystore.generate_key("acme")
+        assert keystore.generate_key("acme", exist_ok=True) is keys
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        keystore = Keystore(tmp_path)
+        keystore.add_tenant("acme", "128f")
+        keystore.add_tenant("edge", "192f")
+        original = keystore.generate_key("acme", "signing", seed=bytes(48))
+        keystore.generate_key("edge", seed=bytes(72))
+
+        reloaded = Keystore(tmp_path)
+        assert reloaded.tenants() == ("acme", "edge")
+        keys, params = reloaded.resolve("acme", "signing")
+        assert params == "SPHINCS+-128f"
+        assert keys.secret == original.secret
+        # The reloaded key signs and verifies like the original.
+        scheme = Sphincs(params, deterministic=True)
+        signature = scheme.sign(b"persisted", keys)
+        assert scheme.verify(b"persisted", signature, original.public)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        keystore = Keystore(tmp_path)
+        keystore.add_tenant("acme")
+        keystore.generate_key("acme", seed=bytes(48))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["acme.json"]
+
+    def test_tenant_files_are_owner_only(self, tmp_path):
+        """The files hold secret key material — never world-readable."""
+        keystore = Keystore(tmp_path)
+        keystore.add_tenant("acme")
+        keystore.generate_key("acme", seed=bytes(48))
+        mode = (tmp_path / "acme.json").stat().st_mode & 0o777
+        assert mode == 0o600
+
+    def test_file_layout(self, tmp_path):
+        keystore = Keystore(tmp_path)
+        keystore.add_tenant("acme", "128f")
+        keystore.generate_key("acme", seed=bytes(48))
+        payload = json.loads((tmp_path / "acme.json").read_text())
+        assert payload["tenant"] == "acme"
+        assert payload["params"] == "SPHINCS+-128f"
+        key = payload["keys"]["default"]
+        assert sorted(key) == ["pk_root", "pk_seed", "sk_prf", "sk_seed"]
+        assert all(len(bytes.fromhex(v)) == 16 for v in key.values())
+
+    def test_tenant_name_validated_on_load(self, tmp_path):
+        """A tampered payload must not smuggle a path-escaping name past
+        the write-path rules (a later save would write outside root)."""
+        (tmp_path / "wallet.json").write_text(json.dumps({
+            "tenant": "../outside", "params": "SPHINCS+-128f", "keys": {}}))
+        with pytest.raises(KeystoreError, match="invalid tenant name"):
+            Keystore(tmp_path)
+
+    def test_tenant_name_must_match_file(self, tmp_path):
+        (tmp_path / "wallet.json").write_text(json.dumps({
+            "tenant": "other", "params": "SPHINCS+-128f", "keys": {}}))
+        with pytest.raises(KeystoreError, match="expected 'wallet'"):
+            Keystore(tmp_path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(KeystoreError, match="corrupt keystore"):
+            Keystore(tmp_path)
+
+    def test_wrong_key_length_rejected(self, tmp_path):
+        (tmp_path / "acme.json").write_text(json.dumps({
+            "tenant": "acme", "params": "SPHINCS+-128f",
+            "keys": {"default": {f: "00" * 8 for f in
+                                 ("sk_seed", "sk_prf", "pk_seed", "pk_root")}},
+        }))
+        with pytest.raises(KeystoreError, match="must be 16 bytes"):
+            Keystore(tmp_path)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_label_sensitive(self):
+        assert derive_seed("a", 16) == derive_seed("a", 16)
+        assert derive_seed("a", 16) != derive_seed("b", 16)
+        assert len(derive_seed("a", 24)) == 72
+        assert len(derive_seed("a", 32)) == 96

@@ -1,0 +1,107 @@
+"""Arrival traces and the async load driver."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import OverloadedError, ServiceError
+from repro.service import (LoadGenerator, bursty_trace, make_trace,
+                           poisson_trace, ramp_trace)
+
+
+class TestTraces:
+    def test_poisson_shape_and_determinism(self):
+        trace = poisson_trace(200, rate=50.0, seed=7)
+        assert len(trace) == 200
+        assert trace == sorted(trace)
+        assert trace == poisson_trace(200, rate=50.0, seed=7)
+        assert trace != poisson_trace(200, rate=50.0, seed=8)
+        mean_gap = trace[-1] / len(trace)
+        assert 0.5 / 50.0 < mean_gap < 2.0 / 50.0  # loose: it's random
+
+    def test_bursty_is_on_off(self):
+        trace = bursty_trace(32, rate=40.0, burst=8, seed=1)
+        assert len(trace) == 32
+        # Requests inside a burst land at the same instant...
+        assert trace[0] == trace[7]
+        # ...and bursts are separated by an idle gap near burst/rate.
+        gap = trace[8] - trace[7]
+        assert 0.8 * 8 / 40.0 <= gap <= 1.2 * 8 / 40.0
+
+    def test_ramp_accelerates(self):
+        trace = ramp_trace(400, rate=50.0, seed=3)
+        first_half = trace[199] - trace[0]
+        second_half = trace[399] - trace[200]
+        assert second_half < first_half  # arrivals speed up
+
+    def test_make_trace_dispatch(self):
+        assert make_trace("poisson", 5, 10.0) == poisson_trace(5, 10.0)
+        with pytest.raises(ServiceError, match="unknown trace"):
+            make_trace("square-wave", 5, 10.0)
+        with pytest.raises(ServiceError, match="length"):
+            make_trace("poisson", 0, 10.0)
+        with pytest.raises(ServiceError, match="rate"):
+            make_trace("poisson", 5, 0.0)
+
+
+class TestLoadGenerator:
+    def test_counts_ok_shed_and_failed(self):
+        async def scenario():
+            calls = []
+
+            async def signer(message):
+                calls.append(message)
+                if message.endswith(b"#1"):
+                    raise OverloadedError("shed")
+                if message.endswith(b"#2"):
+                    raise RuntimeError("boom")
+                return {"batch_size": 2}
+
+            generator = LoadGenerator(signer)
+            report = await generator.run([0.0, 0.0, 0.0, 0.01],
+                                         trace="unit")
+            assert len(calls) == 4
+            assert (report.offered, report.signed, report.shed,
+                    report.failed) == (4, 2, 1, 1)
+            assert len(report.latencies_ms) == 2
+            assert report.batch_sizes == [2, 2]
+            assert report.elapsed_s > 0
+            table = report.table()
+            assert "unit" in table and "p99 ms" in table
+
+        asyncio.run(scenario())
+
+    def test_respects_arrival_offsets(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            issued = []
+
+            async def signer(message):
+                issued.append(loop.time())
+                return {}
+
+            start = loop.time()
+            await LoadGenerator(signer).run([0.0, 0.08])
+            assert len(issued) == 2
+            # The second request waited for its offset.
+            assert max(issued) - start >= 0.07
+
+        asyncio.run(scenario())
+
+    def test_time_scale_compresses(self):
+        async def scenario():
+            async def signer(message):
+                return {}
+
+            generator = LoadGenerator(signer, time_scale=0.1)
+            report = await generator.run([0.0, 1.0])  # 1 s -> 0.1 s
+            assert report.elapsed_s < 0.8
+
+        asyncio.run(scenario())
+
+    def test_invalid_time_scale(self):
+        async def noop(message):
+            return {}
+
+        with pytest.raises(ServiceError, match="time_scale"):
+            LoadGenerator(noop, time_scale=0)

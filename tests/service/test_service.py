@@ -1,0 +1,247 @@
+"""SigningService end-to-end: in-process API, admission control, TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (KeystoreError, OverloadedError, ProtocolError,
+                          ServiceError)
+from repro.params import get_params
+from repro.service import (Keystore, ServiceClient, SigningServer,
+                           SigningService, derive_seed)
+from repro.sphincs.signer import Sphincs
+
+
+def make_keystore(tenants=(("demo", "128f"),)):
+    keystore = Keystore()
+    for name, params in tenants:
+        keystore.add_tenant(name, params)
+        keystore.generate_key(
+            name, "default",
+            seed=derive_seed(f"{name}/default", get_params(params).n))
+    return keystore
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("target_batch_size", 4)
+    kwargs.setdefault("max_wait_s", 0.05)
+    kwargs.setdefault("deterministic", True)
+    return SigningService(make_keystore(), **kwargs)
+
+
+class TestInProcess:
+    def test_concurrent_requests_share_a_batch_and_verify(self):
+        async def scenario():
+            service = make_service(target_batch_size=3, max_wait_s=10.0)
+            messages = [b"tx-0", b"tx-1", b"tx-2"]
+            outcomes = await asyncio.wait_for(asyncio.gather(
+                *(service.sign(m, "demo") for m in messages)), timeout=60)
+            assert [o.batch_size for o in outcomes] == [3, 3, 3]
+            assert all(o.params == "SPHINCS+-128f" for o in outcomes)
+            assert all(o.total_ms >= o.wait_ms >= 0 for o in outcomes)
+            keys, params = service.keystore.resolve("demo")
+            scheme = Sphincs(params)
+            for message, outcome in zip(messages, outcomes):
+                assert scheme.verify(message, outcome.signature, keys.public)
+
+        asyncio.run(scenario())
+
+    def test_lone_request_signed_within_deadline(self):
+        """Acceptance: a lone sub-batch-size request is not stranded."""
+        async def scenario():
+            service = make_service(target_batch_size=64, max_wait_s=0.05)
+            outcome = await asyncio.wait_for(
+                service.sign(b"straggler", "demo"), timeout=30)
+            assert outcome.batch_size == 1
+            keys, params = service.keystore.resolve("demo")
+            assert Sphincs(params).verify(b"straggler", outcome.signature,
+                                          keys.public)
+
+        asyncio.run(scenario())
+
+    def test_unknown_tenant_fails_before_queueing(self):
+        async def scenario():
+            service = make_service()
+            with pytest.raises(KeystoreError, match="unknown tenant"):
+                await service.sign(b"x", "ghost")
+            assert service.batcher.pending == 0
+
+        asyncio.run(scenario())
+
+    def test_admission_control_sheds_beyond_watermark(self):
+        async def scenario():
+            service = make_service(target_batch_size=64, max_wait_s=10.0,
+                                   max_pending=2)
+            accepted = [asyncio.ensure_future(service.sign(b"a", "demo")),
+                        asyncio.ensure_future(service.sign(b"b", "demo"))]
+            await asyncio.sleep(0)  # let both enqueue
+            assert service.batcher.pending == 2
+            with pytest.raises(OverloadedError, match="shed"):
+                await service.sign(b"c", "demo")
+            stats = service.stats()
+            assert stats["tenants"]["demo"]["shed"] == 1
+            await service.drain()  # accepted requests still complete
+            outcomes = await asyncio.gather(*accepted)
+            assert {o.batch_size for o in outcomes} == {2}
+
+        asyncio.run(scenario())
+
+    def test_admission_counts_inflight_batches(self):
+        """Dispatched-but-unsigned requests still occupy the watermark:
+        sustained overload must shed, not pile batches behind the sign
+        lock."""
+        async def scenario():
+            service = make_service(target_batch_size=1, max_wait_s=10.0,
+                                   max_pending=1)
+            first = asyncio.ensure_future(service.sign(b"slow", "demo"))
+            # target_batch_size=1 dispatches immediately; wait until the
+            # request has left the queue and is in flight.
+            for _ in range(100):
+                if service.batcher.in_flight:
+                    break
+                await asyncio.sleep(0.01)
+            assert service.batcher.pending == 0  # queue empty...
+            with pytest.raises(OverloadedError):  # ...but still full
+                await service.sign(b"rejected", "demo")
+            assert (await asyncio.wait_for(first, 60)).batch_size == 1
+
+        asyncio.run(scenario())
+
+    def test_short_backend_result_fails_futures(self):
+        """A backend returning too few signatures must error every
+        request in the batch, never leave a future hanging."""
+        async def scenario():
+            service = make_service(target_batch_size=2, max_wait_s=10.0)
+            backend = service._backend_for("SPHINCS+-128f")
+            original = backend.sign_batch
+
+            def truncated(messages, keys):
+                result = original(messages, keys)
+                result.signatures.pop()
+                return result
+
+            backend.sign_batch = truncated
+            futures = [asyncio.ensure_future(service.sign(m, "demo"))
+                       for m in (b"a", b"b")]
+            for future in futures:
+                with pytest.raises(ServiceError, match="returned 1"):
+                    await asyncio.wait_for(future, timeout=60)
+            assert service.stats()["tenants"]["demo"]["failed"] == 2
+
+        asyncio.run(scenario())
+
+    def test_stats_snapshot_shape(self):
+        async def scenario():
+            service = make_service(target_batch_size=2, max_wait_s=10.0)
+            await asyncio.gather(service.sign(b"a", "demo"),
+                                 service.sign(b"b", "demo"))
+            stats = service.stats()
+            assert stats["tenants"]["demo"]["signed"] == 2
+            assert stats["batches"]["histogram"] == {"2": 1}
+            assert stats["latency_ms"]["total"]["p99"] > 0
+            assert stats["queue"]["depth"] == 0
+            assert stats["config"]["tenants"] == {"demo": "SPHINCS+-128f"}
+            report = service.report()
+            assert "p95" in report and "Batch-size histogram" in report
+
+        asyncio.run(scenario())
+
+
+class TestTcp:
+    def test_sign_stats_ping_over_tcp(self):
+        async def scenario():
+            service = make_service(target_batch_size=2, max_wait_s=0.05)
+            server = SigningServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(port=server.port)
+            try:
+                assert await client.ping()
+                responses = await asyncio.wait_for(asyncio.gather(
+                    client.sign(b"wire-0", "demo"),
+                    client.sign(b"wire-1", "demo")), timeout=60)
+                keys, params = service.keystore.resolve("demo")
+                scheme = Sphincs(params)
+                for i, response in enumerate(responses):
+                    assert response["batch_size"] == 2
+                    assert scheme.verify(f"wire-{i}".encode(),
+                                         response["signature"], keys.public)
+                stats = await client.stats()
+                assert stats["tenants"]["demo"]["signed"] == 2
+                assert stats["batches"]["histogram"] == {"2": 1}
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_typed_errors_over_tcp(self):
+        async def scenario():
+            service = make_service(target_batch_size=64, max_wait_s=10.0,
+                                   max_pending=1)
+            server = SigningServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(port=server.port)
+            try:
+                with pytest.raises(KeystoreError, match="unknown tenant"):
+                    await client.sign(b"x", "ghost")
+                accepted = asyncio.ensure_future(
+                    client.sign(b"a", "demo"))
+                # Wait until the server has actually queued the first sign.
+                for _ in range(100):
+                    if service.batcher.pending:
+                        break
+                    await asyncio.sleep(0.01)
+                with pytest.raises(OverloadedError):
+                    await client.sign(b"b", "demo")
+                with pytest.raises(ProtocolError, match="unknown op"):
+                    await client.request({"op": "frobnicate"})
+                await service.drain()
+                assert (await asyncio.wait_for(accepted, 60))["batch_size"] == 1
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_request_after_server_close_raises_not_hangs(self):
+        """Once the server closes the connection, new requests must fail
+        fast — a future registered after the read loop exited could
+        never be resolved."""
+        async def scenario():
+            service = make_service()
+            server = SigningServer(service, port=0)
+            await server.start()
+            client = await ServiceClient.connect(port=server.port)
+            try:
+                assert await client.ping()
+                await server.stop()
+                # Wait for the client's reader to see EOF.
+                await asyncio.wait_for(
+                    asyncio.shield(client._read_task), timeout=5)
+                with pytest.raises(ServiceError, match="connection closed"):
+                    await asyncio.wait_for(client.ping(), timeout=5)
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_malformed_line_gets_protocol_error(self):
+        async def scenario():
+            service = make_service()
+            server = SigningServer(service, port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                port=server.port)
+            try:
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                import json
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert response["error"] == "protocol"
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await server.stop()
+
+        asyncio.run(scenario())

@@ -1,0 +1,73 @@
+"""Telemetry counters, percentiles, and snapshot rendering."""
+
+import json
+
+from repro.service import Telemetry, percentile, render_snapshot
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = list(range(1, 101))  # 1..100
+        assert percentile(samples, 50) == 50
+        assert percentile(samples, 95) == 95
+        assert percentile(samples, 99) == 99
+        assert percentile(samples, 100) == 100
+
+    def test_small_and_empty(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+        assert percentile([10.0, 20.0], 99) == 20.0
+
+
+class TestTelemetry:
+    def test_counters_and_histogram(self):
+        telemetry = Telemetry()
+        telemetry.record_submitted("acme")
+        telemetry.record_signed("acme", total_ms=120.0, wait_ms=20.0)
+        telemetry.record_shed("acme")
+        telemetry.record_failed("edge")
+        telemetry.record_batch(4)
+        telemetry.record_batch(4)
+        telemetry.record_batch(1)
+        telemetry.observe_depth(3)
+        telemetry.observe_depth(1)
+
+        snapshot = telemetry.snapshot()
+        assert snapshot["tenants"]["acme"] == {
+            "submitted": 2, "signed": 1, "shed": 1, "failed": 0}
+        assert snapshot["tenants"]["edge"]["failed"] == 1
+        assert snapshot["batches"] == {
+            "dispatched": 3, "histogram": {"1": 1, "4": 2}}
+        assert snapshot["queue"]["peak_depth"] == 3
+        assert snapshot["latency_ms"]["total"]["p50"] == 120.0
+        assert snapshot["latency_ms"]["wait"]["max"] == 20.0
+
+    def test_snapshot_is_json_safe(self):
+        telemetry = Telemetry()
+        telemetry.record_signed("t", 10.0, 1.0)
+        telemetry.record_batch(2)
+        round_tripped = json.loads(json.dumps(telemetry.snapshot()))
+        assert round_tripped["batches"]["histogram"] == {"2": 1}
+
+    def test_latency_window_rolls(self):
+        telemetry = Telemetry(latency_window=10)
+        for i in range(100):
+            telemetry.record_signed("t", total_ms=float(i), wait_ms=0.0)
+        summary = telemetry.snapshot()["latency_ms"]["total"]
+        assert summary["count"] == 10
+        assert summary["p50"] >= 90.0  # only the newest samples remain
+
+    def test_render_snapshot_local_and_remote(self):
+        telemetry = Telemetry()
+        telemetry.record_signed("acme", 100.0, 5.0)
+        telemetry.record_batch(1)
+        local = telemetry.report(title="local view")
+        assert "local view" in local and "acme" in local
+        assert "p50" in local and "p95" in local and "p99" in local
+        # A snapshot that crossed the wire renders identically.
+        remote = json.loads(json.dumps(telemetry.snapshot()))
+        assert render_snapshot(remote, title="local view") == local
+
+    def test_render_empty_snapshot(self):
+        assert "Batch-size histogram" in render_snapshot({})

@@ -37,7 +37,6 @@ class TestBaseW:
     @given(st.binary(min_size=1, max_size=32), st.sampled_from([4, 16, 256]))
     @settings(max_examples=60, deadline=None)
     def test_digits_in_range_and_reconstructible(self, data, w):
-        import math
 
         log_w = w.bit_length() - 1
         out_len = (len(data) * 8) // log_w

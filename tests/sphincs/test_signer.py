@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SignatureFormatError
 from repro.params import get_params
-from repro.sphincs.signer import KeyPair, SigningArtifacts, Sphincs
+from repro.sphincs.signer import SigningArtifacts, Sphincs
 
 SEED_128 = bytes(range(48))
 

@@ -45,3 +45,48 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServiceCli:
+    def test_loadtest_self_hosted_bursty(self, capsys):
+        """The acceptance flow: loadtest against a live serve-async
+        service (self-hosted on an ephemeral port) prints the telemetry
+        report with batch histogram and latency percentiles."""
+        assert main([
+            "loadtest", "--trace", "bursty", "--messages", "6",
+            "--rate", "60", "--batch-size", "3", "--max-wait-ms", "40",
+            "--deterministic",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "self-hosted signing service" in out
+        assert "signed" in out and "shed" in out
+        assert "Batch-size histogram" in out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "Server telemetry" in out
+
+    def test_loadtest_multi_tenant_keystore_persists(self, tmp_path, capsys):
+        keystore = tmp_path / "keys"
+        assert main([
+            "loadtest", "--trace", "poisson", "--messages", "3",
+            "--rate", "60", "--batch-size", "2", "--max-wait-ms", "40",
+            "--tenants", "acme:128f,edge:128f",
+            "--keystore", str(keystore), "--deterministic",
+        ]) == 0
+        # Both tenants were provisioned and persisted (one file each).
+        assert sorted(p.name for p in keystore.iterdir()) == [
+            "acme.json", "edge.json"]
+        assert "acme" in capsys.readouterr().out
+
+    def test_loadtest_rejects_bad_messages(self, capsys):
+        assert main(["loadtest", "--messages", "0"]) == 2
+        assert "--messages" in capsys.readouterr().err
+
+    def test_loadtest_rejects_bad_connect(self, capsys):
+        assert main(["loadtest", "--connect", "localhost"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+        assert main(["loadtest", "--connect", "host:notaport"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_loadtest_rejects_empty_tenants(self, capsys):
+        assert main(["loadtest", "--tenants", ","]) == 2
+        assert "--tenants" in capsys.readouterr().err

@@ -9,7 +9,6 @@ be fiction — these tests prevent that.
 
 import pytest
 
-from repro.hashes.thash import HashContext
 from repro.params import get_params
 from repro.sphincs.signer import Sphincs, SigningArtifacts
 
