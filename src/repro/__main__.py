@@ -17,6 +17,10 @@ loadtest
     bursty / ramp) and print client latency percentiles plus the
     server's telemetry report.  Self-hosts a server unless ``--connect``
     names one.
+conformance
+    Run the conformance subsystem: the cross-backend differential oracle
+    over an adversarial corpus (optionally with an injected hash fault),
+    and the pinned KAT vector workflow (--check-kats / --regen-kats).
 tune
     Run the Tree Tuning search for a parameter set and device.
 model
@@ -225,6 +229,81 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return asyncio.run(run())
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from .errors import ConformanceError, ParameterError
+    from .testing import (DifferentialOracle, KAT_SETS, check_kat,
+                          generate_kat, parse_fault)
+
+    vectors_dir = Path(args.vectors_dir) if args.vectors_dir else None
+    params_list = ([p.strip() for p in args.params.split(",") if p.strip()]
+                   if args.params else [])
+
+    # Exit-code contract: 0 clean, 1 conformance failure (divergence /
+    # KAT drift), 2 misconfiguration (unknown set, bad fault spec,
+    # backend without a fault hook, fault armed but never fired).
+    try:
+        if args.regen_kats:
+            for params in (params_list or list(KAT_SETS)):
+                path = generate_kat(params, vectors_dir)
+                print(f"wrote {path}")
+            return 0
+
+        if args.check_kats:
+            failed = False
+            for params in (params_list or list(KAT_SETS)):
+                problems = check_kat(params, vectors_dir)
+                if problems:
+                    failed = True
+                    for problem in problems:
+                        print(f"KAT DRIFT: {problem}")
+                else:
+                    print(f"kat {params}: ok")
+            return 1 if failed else 0
+
+        fault = parse_fault(args.inject_fault) if args.inject_fault else None
+    except (ConformanceError, ParameterError) as exc:
+        print(f"conformance: {exc}", file=sys.stderr)
+        return 2
+
+    smoke = args.smoke or bool(os.environ.get("REPRO_SMOKE"))
+    backends = ([b.strip() for b in args.backends.split(",") if b.strip()]
+                if args.backends else None)
+    exit_code = 0
+    for params in (params_list or ["128f"]):
+        try:
+            oracle = DifferentialOracle(
+                params, backends=backends, seed=args.seed, smoke=smoke,
+                include_service=not args.no_service, fault=fault,
+                fault_target=args.fault_target)
+            report = oracle.run()
+        except (ConformanceError, ParameterError) as exc:
+            print(f"conformance: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if fault is not None and not report.fault_fired:
+            print(f"conformance: fault {fault.spec} armed but never fired "
+                  f"(only {fault.calls_seen} {fault.target} calls)",
+                  file=sys.stderr)
+            exit_code = 2
+        if not report.passed:
+            divergence = report.first_divergence()
+            if divergence is not None:
+                print(f"conformance: FAILED — first divergence at "
+                      f"{divergence.stage} ({divergence.path}, "
+                      f"case {divergence.case})", file=sys.stderr)
+            else:
+                print("conformance: FAILED — see report above",
+                      file=sys.stderr)
+            exit_code = max(exit_code, 1)
+        else:
+            print(f"conformance: {params} ok — all paths byte-identical "
+                  "and verified")
+    return exit_code
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .core.fusion import plan_fors
     from .gpusim.device import get_device
@@ -329,6 +408,36 @@ def main(argv: list[str] | None = None) -> int:
                             help="multiply trace offsets (0.5 = 2x faster)")
     _add_service_args(p_loadtest)
     p_loadtest.set_defaults(func=_cmd_loadtest)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential oracle, KAT pinning, and fault injection")
+    p_conf.add_argument("--params", default=None,
+                        help="comma-separated parameter sets (oracle "
+                             "default: 128f; KAT commands default to all "
+                             "four pinned sets)")
+    p_conf.add_argument("--backends", default=None,
+                        help="comma-separated backend names "
+                             "(default: every registered backend)")
+    p_conf.add_argument("--smoke", action="store_true",
+                        help="small corpus (also implied by REPRO_SMOKE=1)")
+    p_conf.add_argument("--seed", type=int, default=0,
+                        help="corpus generation seed")
+    p_conf.add_argument("--no-service", action="store_true",
+                        help="skip the async SigningService pass")
+    p_conf.add_argument("--inject-fault", default=None, metavar="SPEC",
+                        help="install a deterministic fault, e.g. "
+                             "'thash:bitflip' or 'thash:bitflip:120:5'; "
+                             "the run must then fail naming the stage")
+    p_conf.add_argument("--fault-target", default="scalar",
+                        help="backend the fault is installed on")
+    p_conf.add_argument("--check-kats", action="store_true",
+                        help="verify the pinned KAT vectors, report drift")
+    p_conf.add_argument("--regen-kats", action="store_true",
+                        help="rewrite the pinned KAT vectors")
+    p_conf.add_argument("--vectors-dir", default=None,
+                        help="KAT vector directory (default: tests/vectors)")
+    p_conf.set_defaults(func=_cmd_conformance)
 
     p_tune = sub.add_parser("tune", help="run the Tree Tuning search")
     p_tune.add_argument("--params", default="128f")

@@ -29,6 +29,23 @@ class BackendError(ReproError):
     """An unknown, misconfigured, or misused signing-runtime backend."""
 
 
+class UnknownTicketError(BackendError, KeyError):
+    """A scheduler ticket that was never issued, already claimed, or evicted.
+
+    ``BatchScheduler.signature``/``claim`` return ``None`` only for tickets
+    that are still queued; every other miss raises this so callers cannot
+    confuse "not signed yet" with "gone forever".
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message flat
+        return Exception.__str__(self)
+
+
+class ConformanceError(ReproError):
+    """The conformance subsystem found a divergence, drifted KAT vector,
+    or was misconfigured (unknown fault spec, missing vector file)."""
+
+
 class ServiceError(ReproError):
     """Base class for async signing-service failures."""
 

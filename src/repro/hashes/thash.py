@@ -65,6 +65,13 @@ class HashContext:
         self.n = params.n
         self._count = count_hashes
         self.hash_calls = 0
+        #: Optional trace sink with a ``record(stage, label, value)`` method.
+        #: When set, the SPHINCS+ components report their per-stage outputs
+        #: (WOTS chain values, FORS roots, Merkle subtree roots, the
+        #: hypertree walk) through it, so the conformance oracle can name
+        #: the first diverging hop of two signing runs.  ``None`` (the
+        #: default) keeps every hot path hook-free.
+        self.tracer = None
         self._midstates: dict[bytes, "hashlib._Hash"] = {}
 
     # ------------------------------------------------------------------

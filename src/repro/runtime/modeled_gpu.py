@@ -74,6 +74,11 @@ class ModeledGpuBackend(SigningBackend):
     def keygen(self, seed: bytes | None = None) -> KeyPair:
         return self._functional.keygen(seed=seed)
 
+    def hash_context(self):
+        """Delegates to the vectorized engine — which is not tappable
+        (midstate templates), so this raises its explanatory error."""
+        return self._functional.hash_context()
+
     def sign_batch(self, messages: Sequence[bytes],
                    keys: KeyPair) -> BatchSignResult:
         started = time.perf_counter()

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from ..errors import BackendError
+from ..errors import BackendError, UnknownTicketError
 from ..params import get_params
 from ..sphincs.signer import KeyPair
 from .backend import BatchSignResult, SigningBackend
@@ -29,6 +29,10 @@ __all__ = ["BatchStats", "BatchScheduler"]
 
 # router(params_name, message) -> backend name
 Router = Callable[[str, bytes], str]
+
+# Combined size bound on the claimed/evicted ticket-id sets before the
+# oldest half is folded into a floor watermark (see _compact_terminal).
+_MAX_TERMINAL_TRACKED = 4096
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,15 @@ class BatchScheduler:
         self._queues: dict[tuple[str, str], _Queue] = {}
         self._signatures: dict[int, bytes] = {}
         self._next_ticket = 0
+        # Terminal ticket states, so signature()/claim() can distinguish
+        # "not dispatched yet" (None) from "gone" (UnknownTicketError).
+        # Bounded: once the sets exceed _MAX_TERMINAL_TRACKED, the oldest
+        # half is compacted into _terminal_floor — tickets below the
+        # floor that are neither stored nor queued are reported with a
+        # combined "claimed or evicted" message instead of the exact one.
+        self._claimed: set[int] = set()
+        self._evicted_tickets: set[int] = set()
+        self._terminal_floor = 0
 
     # ------------------------------------------------------------------
     # Key and backend management
@@ -212,8 +225,11 @@ class BatchScheduler:
             # "still queued".
             bound = max(self.max_retained, len(queue.tickets))
             while len(self._signatures) > bound:
-                self._signatures.pop(next(iter(self._signatures)))
+                oldest = next(iter(self._signatures))
+                self._signatures.pop(oldest)
+                self._evicted_tickets.add(oldest)
                 self.evicted += 1
+            self._compact_terminal()
         stats = self._stats(result, verified)
         self.batches.append(stats)
         if self.on_dispatch is not None:
@@ -283,6 +299,67 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     # Results and reporting
     # ------------------------------------------------------------------
+    def _compact_terminal(self) -> None:
+        """Keep the terminal-ticket sets bounded for long-lived services.
+
+        Tickets are issued monotonically, so folding the oldest tracked
+        half into ``_terminal_floor`` retains exact diagnostics for
+        recent tickets while old ones collapse to a single integer — the
+        sets can never grow past ``_MAX_TERMINAL_TRACKED`` entries no
+        matter how many signatures a service claims over its lifetime.
+        """
+        if (len(self._claimed) + len(self._evicted_tickets)
+                <= _MAX_TERMINAL_TRACKED):
+            return
+        tracked = sorted(self._claimed | self._evicted_tickets)
+        cutoff = tracked[len(tracked) // 2]
+        self._terminal_floor = max(self._terminal_floor, cutoff + 1)
+        self._claimed = {t for t in self._claimed if t > cutoff}
+        self._evicted_tickets = {t for t in self._evicted_tickets
+                                 if t > cutoff}
+
+    def _is_queued(self, ticket: int) -> bool:
+        return any(ticket in queue.tickets
+                   for queue in self._queues.values())
+
+    def _validate_ticket_type(self, ticket: int) -> None:
+        """Reject non-int tickets *before* any dict lookup.
+
+        ``True`` and ``1.0`` hash equal to ticket ``1`` — without this
+        gate, ``claim(True)`` would silently redeem someone else's
+        signature instead of raising.
+        """
+        if not isinstance(ticket, int) or isinstance(ticket, bool):
+            raise UnknownTicketError(
+                f"ticket {ticket!r} was never issued by this scheduler"
+            )
+
+    def _check_ticket(self, ticket: int) -> None:
+        """Raise :class:`UnknownTicketError` unless *ticket* is live.
+
+        A live ticket is one that was issued and is still queued (its
+        signature simply does not exist yet).  Everything else — never
+        issued, already claimed, evicted under ``max_retained`` — raises,
+        so ``None`` keeps exactly one meaning: not dispatched yet.
+        """
+        if ticket < 0 or ticket >= self._next_ticket:
+            raise UnknownTicketError(
+                f"ticket {ticket!r} was never issued by this scheduler"
+            )
+        if ticket in self._claimed:
+            raise UnknownTicketError(f"ticket {ticket} was already claimed")
+        if ticket in self._evicted_tickets:
+            raise UnknownTicketError(
+                f"ticket {ticket} was evicted from the result store "
+                f"(max_retained={self.max_retained}); claim tickets "
+                "promptly or raise the bound"
+            )
+        if ticket < self._terminal_floor and not self._is_queued(ticket):
+            # Exact state was compacted away; it is definitely gone.
+            raise UnknownTicketError(
+                f"ticket {ticket} was already claimed or evicted"
+            )
+
     def signature(self, ticket: int) -> bytes | None:
         """Peek at the signature for *ticket* (None while still queued).
 
@@ -291,12 +368,30 @@ class BatchScheduler:
         once redeemed, or construct the scheduler with ``max_retained``
         so the result store stays bounded — unclaimed signatures beyond
         the bound are evicted oldest-first and counted in ``evicted``.
+        Raises :class:`UnknownTicketError` for tickets that were never
+        issued, were already claimed, or were evicted.
         """
-        return self._signatures.get(ticket)
+        self._validate_ticket_type(ticket)
+        blob = self._signatures.get(ticket)
+        if blob is None:
+            self._check_ticket(ticket)
+        return blob
 
     def claim(self, ticket: int) -> bytes | None:
-        """Redeem *ticket*: return its signature and release the storage."""
-        return self._signatures.pop(ticket, None)
+        """Redeem *ticket*: return its signature and release the storage.
+
+        ``None`` means the ticket is still queued; a second claim of the
+        same ticket raises :class:`UnknownTicketError`, as do never-issued
+        and evicted tickets.
+        """
+        self._validate_ticket_type(ticket)
+        blob = self._signatures.pop(ticket, None)
+        if blob is None:
+            self._check_ticket(ticket)
+            return None
+        self._claimed.add(ticket)
+        self._compact_terminal()
+        return blob
 
     @property
     def pending(self) -> int:

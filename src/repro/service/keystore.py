@@ -71,9 +71,25 @@ class Keystore:
         self._tenants: dict[str, TenantRecord] = {}
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+            # Quarantine *every* corrupt tenant file in one pass (not just
+            # the first), so a single reload after the error comes up
+            # cleanly with all healthy tenants no matter how many files
+            # were damaged.
+            failures = []
             for path in sorted(self.root.glob("*.json")):
-                record = self._load_tenant(path)
+                try:
+                    record = self._load_tenant(path)
+                except KeystoreError as exc:
+                    quarantined = self._quarantine(path)
+                    failures.append(f"{exc} (quarantined to "
+                                    f"{quarantined.name})")
+                    continue
                 self._tenants[record.name] = record
+            if failures:
+                raise KeystoreError(
+                    "; ".join(failures) + " — restore good copies or "
+                    "delete the quarantined files, then reload the keystore"
+                )
 
     # ------------------------------------------------------------------
     # Tenant and key management
@@ -172,6 +188,18 @@ class Keystore:
             handle.write(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, path)
 
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt tenant file aside as ``<name>.json.corrupt``.
+
+        The quarantined file no longer matches the ``*.json`` load glob, so
+        the *next* keystore construction comes up cleanly without the
+        corrupt tenant instead of failing on every restart — while the
+        bytes stay on disk for the operator to inspect or restore.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        os.replace(path, target)
+        return target
+
     def _load_tenant(self, path: Path) -> TenantRecord:
         try:
             payload = json.loads(path.read_text())
@@ -202,7 +230,7 @@ class Keystore:
                 keys[key_name] = KeyPair(**material)
         except KeystoreError:
             raise
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
             raise KeystoreError(
                 f"corrupt keystore file {path.name}: {exc}"
             ) from exc

@@ -49,7 +49,11 @@ class Hypertree:
         leaves = batched_leaves(leaf, self.params.tree_leaves)
         tree_adrs = Address().set_layer(layer).set_tree(tree)
         tree_adrs.set_type(AddressType.TREE)
-        return treehash(leaves, self.ctx, pk_seed, tree_adrs)
+        levels = treehash(leaves, self.ctx, pk_seed, tree_adrs)
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.record("merkle", f"layer={layer}/tree={tree}",
+                                   levels[-1][0])
+        return levels
 
     # Backwards-compatible alias for the pre-runtime private name.
     _subtree_levels = subtree_levels
@@ -99,6 +103,8 @@ class Hypertree:
             # leaf, the rest the next tree (paper Figure 2's index update).
             leaf = tree & (params.tree_leaves - 1)
             tree >>= params.tree_height
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.record("hypertree", "root", node)
         return signature, node
 
     def pk_from_sig(self, signature: HypertreeSignature, message: bytes,

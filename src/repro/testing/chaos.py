@@ -1,0 +1,140 @@
+"""Network chaos for the service tier: a deterministic flaky-TCP proxy.
+
+:class:`FlakyProxy` sits between a client and a :class:`SigningServer`
+and mistreats the byte stream in the ways real networks do:
+
+* **splits** — a chunk is written in two pieces (exercises partial-line
+  reads and reassembly on both ends);
+* **delays** — a chunk is held back for a few milliseconds (reorders
+  writes relative to timers, widens batching windows);
+* **drops** — the connection is torn down mid-stream, optionally after
+  leaking a truncated prefix of the chunk (exercises EOF-mid-frame
+  handling and client reconnect logic).
+
+The chaos suite's contract mirrors the fault injector's: a client talking
+through the proxy may see *typed* errors (connection reset, protocol
+error, load shed) and may have to reconnect, but it must never receive a
+wrong signature and never hang — every outcome is a verified signature,
+a structured failure, or a clean timeout.
+
+All misbehaviour is drawn from one ``random.Random(seed)``, so a failing
+run reproduces from its seed.  Rates are probabilities per forwarded
+chunk (per connection for ``drop_rate``-triggered teardowns).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+__all__ = ["FlakyProxy"]
+
+_CHUNK = 4096
+
+
+class FlakyProxy:
+    """A seeded, misbehaving TCP forwarder for chaos tests."""
+
+    def __init__(self, target_port: int, target_host: str = "127.0.0.1",
+                 host: str = "127.0.0.1", seed: int = 0,
+                 drop_rate: float = 0.05, split_rate: float = 0.25,
+                 delay_rate: float = 0.25, max_delay_s: float = 0.005):
+        self.target_host = target_host
+        self.target_port = target_port
+        self.host = host
+        self.port = 0
+        self.rng = random.Random(seed)
+        self.drop_rate = drop_rate
+        self.split_rate = split_rate
+        self.delay_rate = delay_rate
+        self.max_delay_s = max_delay_s
+        # Observability for assertions: the chaos actually happened.
+        self.connections = 0
+        self.dropped = 0
+        self.splits = 0
+        self.delays = 0
+        self.forwarded_bytes = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers),
+                                 return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        try:
+            target_reader, target_writer = await asyncio.open_connection(
+                self.target_host, self.target_port)
+        except OSError:
+            client_writer.close()
+            return
+        loop = asyncio.get_running_loop()
+        pumps = [
+            loop.create_task(self._pump(client_reader, target_writer,
+                                        client_writer)),
+            loop.create_task(self._pump(target_reader, client_writer,
+                                        target_writer)),
+        ]
+        for task in pumps:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        await asyncio.gather(*pumps, return_exceptions=True)
+        for writer in (client_writer, target_writer):
+            writer.close()
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter,
+                    other_writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                data = await reader.read(_CHUNK)
+                if not data:
+                    break
+                if self.rng.random() < self.drop_rate:
+                    # Tear the connection down mid-stream, leaking a
+                    # truncated prefix half the time (the nastier case:
+                    # the peer sees a partial frame, then EOF).
+                    self.dropped += 1
+                    if len(data) > 1 and self.rng.random() < 0.5:
+                        writer.write(data[:self.rng.randrange(1, len(data))])
+                        await writer.drain()
+                    break
+                if self.rng.random() < self.delay_rate:
+                    self.delays += 1
+                    await asyncio.sleep(
+                        self.rng.uniform(0.0, self.max_delay_s))
+                if len(data) > 1 and self.rng.random() < self.split_rate:
+                    self.splits += 1
+                    cut = self.rng.randrange(1, len(data))
+                    writer.write(data[:cut])
+                    await writer.drain()
+                    writer.write(data[cut:])
+                else:
+                    writer.write(data)
+                await writer.drain()
+                self.forwarded_bytes += len(data)
+        except (ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            for target in (writer, other_writer):
+                try:
+                    target.close()
+                except RuntimeError:
+                    pass

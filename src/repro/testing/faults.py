@@ -1,0 +1,142 @@
+"""Deterministic fault injection into the tweakable-hash layer.
+
+The SPHINCS+ fault-attack literature (Genet et al., "Practical Fault
+Injection Attacks on SPHINCS") shows that a *single* corrupted hash inside
+the WOTS/FORS computation silently yields a signature over the wrong
+intermediate value — the signer notices nothing, but the signature either
+fails verification (the benign outcome this suite demands) or, in a
+grafted-tree attack, becomes forgery material.  A conformance suite for a
+signing service therefore has to prove the *detection* property: every
+injected hash fault must surface as a verification failure or a structured
+error, never as a silently-served wrong signature.
+
+:class:`BitFlipFault` is the deterministic injector: it wraps one
+:class:`~repro.hashes.thash.HashContext` instance and flips one bit of the
+output of the N-th ``thash`` (or ``prf``) call.  Determinism — same call
+index, same bit, same traffic — is what lets the oracle pin the resulting
+divergence to a stage and lets CI replay the exact same fault on every
+push.
+
+Fault specs are parsed from strings so the CLI can take them directly::
+
+    thash:bitflip            # defaults: call 7, bit 0
+    thash:bitflip:120        # flip a bit of thash call #120
+    thash:bitflip:120:5      # ... bit 5 of its output
+    prf:bitflip:3            # flip the 4th PRF output instead
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..errors import ConformanceError
+from ..hashes.thash import HashContext
+
+__all__ = ["BitFlipFault", "flip_bit", "parse_fault"]
+
+_TARGETS = ("thash", "prf")
+
+
+def flip_bit(data: bytes, bit: int) -> bytes:
+    """Return *data* with absolute bit index *bit* flipped (MSB-first)."""
+    if not 0 <= bit < 8 * len(data):
+        raise ConformanceError(
+            f"bit {bit} out of range for {len(data)}-byte value"
+        )
+    out = bytearray(data)
+    out[bit // 8] ^= 0x80 >> (bit % 8)
+    return bytes(out)
+
+
+@dataclass
+class BitFlipFault:
+    """Flip one bit of one hash-call output, deterministically.
+
+    Parameters
+    ----------
+    target:
+        ``"thash"`` or ``"prf"`` — which hash-context entry point to tap.
+    call_index:
+        Zero-based index of the tapped call, counted from installation.
+        The default lands inside the very first FORS tree build on every
+        parameter set, so the corrupted node provably feeds the signature.
+    bit:
+        Bit of the n-byte output to flip.
+    """
+
+    target: str = "thash"
+    call_index: int = 7
+    bit: int = 0
+    #: How many target calls the installed hook has seen.
+    calls_seen: int = field(default=0, init=False)
+    #: Whether the fault actually fired (the tapped call was reached).
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.target not in _TARGETS:
+            raise ConformanceError(
+                f"unknown fault target {self.target!r}; "
+                f"known: {', '.join(_TARGETS)}"
+            )
+        if self.call_index < 0:
+            raise ConformanceError(
+                f"call_index must be >= 0, got {self.call_index}"
+            )
+
+    @property
+    def spec(self) -> str:
+        return f"{self.target}:bitflip:{self.call_index}:{self.bit}"
+
+    @contextmanager
+    def install(self, ctx: HashContext):
+        """Tap *ctx* for the duration of the ``with`` block.
+
+        The hook shadows the bound method with an instance attribute and
+        deletes it on exit, so the context is bit-for-bit back to normal
+        afterwards.  Counters (:attr:`calls_seen`, :attr:`fired`) reset on
+        each installation.
+        """
+        if self.target in ctx.__dict__:
+            raise ConformanceError(
+                f"a fault is already installed on this context's "
+                f"{self.target}"
+            )
+        self.calls_seen = 0
+        self.fired = False
+        original = getattr(ctx, self.target)
+
+        def tapped(*args, **kwargs):
+            out = original(*args, **kwargs)
+            if self.calls_seen == self.call_index:
+                out = flip_bit(out, self.bit)
+                self.fired = True
+            self.calls_seen += 1
+            return out
+
+        setattr(ctx, self.target, tapped)
+        try:
+            yield self
+        finally:
+            del ctx.__dict__[self.target]
+
+
+def parse_fault(spec: str) -> BitFlipFault:
+    """Parse a ``target:bitflip[:call_index[:bit]]`` fault spec."""
+    parts = spec.strip().split(":")
+    if len(parts) < 2 or parts[1] != "bitflip":
+        raise ConformanceError(
+            f"unsupported fault spec {spec!r}; expected "
+            "'thash:bitflip[:call_index[:bit]]' or 'prf:bitflip[...]'"
+        )
+    kwargs: dict[str, int] = {}
+    try:
+        if len(parts) >= 3:
+            kwargs["call_index"] = int(parts[2])
+        if len(parts) >= 4:
+            kwargs["bit"] = int(parts[3])
+        if len(parts) > 4:
+            raise ValueError("too many fields")
+    except ValueError as exc:
+        raise ConformanceError(f"bad fault spec {spec!r}: {exc}") from exc
+    return BitFlipFault(target=parts[0], **kwargs)

@@ -1,0 +1,74 @@
+"""Pytest fixture library for the conformance subsystem.
+
+Star-import this module from a project ``conftest.py``::
+
+    from repro.testing.fixtures import *  # noqa: F401,F403
+
+and test functions can take ``differential_oracle``, ``conformance_corpus``,
+``fault_factory``, or ``flaky_proxy_factory`` as arguments.  The factories
+return configured-but-unstarted objects so each test controls scope and
+cost (the oracle in particular can sign a lot — default everything to
+smoke mode).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .chaos import FlakyProxy
+from .corpus import message_corpus
+from .faults import parse_fault
+from .oracle import DifferentialOracle
+
+__all__ = ["conformance_corpus", "differential_oracle", "fault_factory",
+           "flaky_proxy_factory"]
+
+
+@pytest.fixture
+def conformance_corpus():
+    """The smoke message corpus (seed 0) as ``(case, message)`` pairs."""
+    return message_corpus(seed=0, smoke=True)
+
+
+@pytest.fixture
+def differential_oracle():
+    """Factory: ``make(params='128f', **oracle_kwargs)`` -> oracle.
+
+    Defaults to smoke corpus and no async-service pass; override per
+    test (``include_service=True``) where the extra coverage is the
+    point.
+    """
+    def make(params: str = "128f", **kwargs) -> DifferentialOracle:
+        kwargs.setdefault("smoke", True)
+        kwargs.setdefault("include_service", False)
+        return DifferentialOracle(params, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def fault_factory():
+    """Factory: ``make('thash:bitflip:7:0')`` -> :class:`BitFlipFault`."""
+    return parse_fault
+
+
+@pytest.fixture
+def flaky_proxy_factory():
+    """Factory: ``make(target_port, **proxy_kwargs)`` -> started proxy.
+
+    The fixture stops every proxy it started when the test ends (callers
+    run the event loop themselves, so teardown collects the coroutines).
+    """
+    proxies: list[FlakyProxy] = []
+
+    def make(target_port: int, **kwargs) -> FlakyProxy:
+        proxy = FlakyProxy(target_port, **kwargs)
+        proxies.append(proxy)
+        return proxy
+
+    yield make
+    import asyncio
+
+    for proxy in proxies:
+        if proxy._server is not None:
+            asyncio.run(proxy.stop())

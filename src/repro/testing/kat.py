@@ -1,0 +1,213 @@
+"""Pinned known-answer-test (KAT) vectors for the deterministic signer.
+
+The repository pins, for each of the four supported parameter sets
+(128s / 128f / 192s / 256s), the deterministic signatures of a small fixed
+message set under a seed derived from the set's name.  The vectors live in
+``tests/vectors/kat_<set>.json`` and record SHA-256 digests of every
+signature plus per-component digests (randomizer, FORS block, per-layer
+WOTS chains and Merkle auth paths), so a drifted vector does not just say
+"changed" — it says *which hop* changed.
+
+Workflow
+--------
+* ``repro conformance --check-kats`` regenerates every pinned signature
+  and fails on any digest mismatch (CI runs this on every push).
+* ``repro conformance --regen-kats`` rewrites the vector files.  That is
+  an intentional, reviewed act: the diff in ``tests/vectors/`` is the
+  statement "this PR changes signature bytes", and a PR that changes them
+  accidentally fails CI instead of silently shipping new signatures.
+
+Digests (not full signatures) are pinned because the check re-signs
+deterministically anyway — storing 30 KB blobs four times over would pin
+nothing extra — while component digests keep divergence localizable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..errors import ConformanceError
+from ..params import get_params
+from ..runtime.registry import get_backend
+from ..service.keystore import derive_seed
+from ..sphincs.signer import Sphincs
+
+__all__ = ["KAT_SETS", "KAT_FORMAT", "default_vectors_dir", "kat_path",
+           "kat_corpus", "generate_kat", "check_kat", "load_kat"]
+
+#: The parameter sets with pinned vectors.
+KAT_SETS = ("128s", "128f", "192s", "256s")
+
+#: Bump when the vector file layout changes.
+KAT_FORMAT = 1
+
+
+def default_vectors_dir() -> Path:
+    """``tests/vectors/`` of the repository this module was loaded from."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "tests" / "vectors"
+        if candidate.is_dir():
+            return candidate
+    # Fresh checkout before the first --regen-kats: src/repro/testing/kat.py
+    # -> repo root is three levels up from the package directory.
+    return here.parents[3] / "tests" / "vectors"
+
+
+def _short_name(params: str) -> str:
+    """Canonical -> short set name: ``SPHINCS+-128s`` -> ``128s``."""
+    return get_params(params).name.rsplit("-", 1)[-1]
+
+
+def kat_path(params: str, vectors_dir: Path | None = None) -> Path:
+    base = vectors_dir if vectors_dir is not None else default_vectors_dir()
+    return base / f"kat_{_short_name(params)}.json"
+
+
+def kat_corpus() -> list[tuple[str, bytes]]:
+    """The fixed KAT message set (small on purpose — the -s sets sign
+    in seconds each, and four sets are pinned)."""
+    return [
+        ("empty", b""),
+        ("abc", b"abc"),
+        ("counter-256", bytes(i & 0xFF for i in range(256))),
+    ]
+
+
+def _sha256(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _components(scheme: Sphincs, signature: bytes) -> dict:
+    """Per-component digests, for localizing a drifted vector."""
+    randomizer, fors_sig, ht_sig = scheme.deserialize(signature)
+    return {
+        "randomizer": randomizer.hex(),
+        "fors_sha256": _sha256(b"".join(
+            secret + b"".join(path) for secret, path in fors_sig)),
+        "layers": [
+            {"wots_sha256": _sha256(b"".join(chains)),
+             "auth_sha256": _sha256(b"".join(path))}
+            for chains, path in ht_sig
+        ],
+    }
+
+
+def _build_vector(params: str) -> dict:
+    """Deterministically recompute the full vector payload for *params*."""
+    spec = get_params(params)
+    seed = derive_seed(f"kat/{_short_name(params)}", spec.n)
+    # The vectorized backend is byte-identical to the scalar scheme in
+    # deterministic mode (pinned by tests/runtime) and an order of
+    # magnitude faster on the -s sets.
+    backend = get_backend("vectorized", spec.name, deterministic=True)
+    keys = backend.keygen(seed=seed)
+    scheme = Sphincs(spec, deterministic=True)
+    messages = []
+    for case, message in kat_corpus():
+        signature = backend.sign(message, keys)
+        if not scheme.verify(message, signature, keys.public):
+            raise ConformanceError(
+                f"{spec.name}: KAT signature for {case!r} failed verification"
+            )
+        messages.append({
+            "case": case,
+            "message_hex": message.hex(),
+            "signature_len": len(signature),
+            "signature_sha256": _sha256(signature),
+            "components": _components(scheme, signature),
+        })
+    return {
+        "format": KAT_FORMAT,
+        "params": spec.name,
+        "seed_hex": seed.hex(),
+        "public_key_hex": keys.public.hex(),
+        "signature_bytes": spec.sig_bytes,
+        "messages": messages,
+    }
+
+
+def generate_kat(params: str, vectors_dir: Path | None = None) -> Path:
+    """(Re)write the pinned vector file for *params*; returns its path."""
+    path = kat_path(params, vectors_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_build_vector(params), indent=2) + "\n")
+    return path
+
+
+def load_kat(params: str, vectors_dir: Path | None = None) -> dict:
+    path = kat_path(params, vectors_dir)
+    if not path.is_file():
+        raise ConformanceError(
+            f"no pinned KAT vector at {path}; run "
+            "'repro conformance --regen-kats' and commit the result"
+        )
+    try:
+        payload = json.loads(path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ConformanceError(f"unreadable KAT vector {path}: {exc}") from exc
+    if payload.get("format") != KAT_FORMAT:
+        raise ConformanceError(
+            f"{path.name}: format {payload.get('format')!r}, expected "
+            f"{KAT_FORMAT}; regenerate with --regen-kats"
+        )
+    return payload
+
+
+def check_kat(params: str, vectors_dir: Path | None = None) -> list[str]:
+    """Recompute *params*' vector and diff it against the pinned file.
+
+    Returns human-readable drift findings (empty == no drift).  Signature
+    drift is localized to the first diverging component via the pinned
+    component digests.
+    """
+    pinned = load_kat(params, vectors_dir)
+    current = _build_vector(params)
+    problems: list[str] = []
+    short = _short_name(params)
+    for key in ("params", "seed_hex", "public_key_hex", "signature_bytes"):
+        if pinned.get(key) != current[key]:
+            problems.append(
+                f"{short}: {key} drifted ({pinned.get(key)!r} -> "
+                f"{current[key]!r})"
+            )
+    pinned_msgs = {entry.get("case"): entry
+                   for entry in pinned.get("messages", [])}
+    for entry in current["messages"]:
+        case = entry["case"]
+        old = pinned_msgs.pop(case, None)
+        if old is None:
+            problems.append(f"{short}/{case}: missing from pinned vector")
+            continue
+        if old.get("message_hex") != entry["message_hex"]:
+            problems.append(f"{short}/{case}: pinned message bytes differ")
+            continue
+        if old.get("signature_sha256") == entry["signature_sha256"]:
+            continue
+        stage = _first_component_drift(old.get("components", {}),
+                                       entry["components"])
+        problems.append(
+            f"{short}/{case}: signature drifted at {stage} "
+            f"(pinned {old.get('signature_sha256', '?')[:16]}, "
+            f"current {entry['signature_sha256'][:16]})"
+        )
+    for case in pinned_msgs:
+        problems.append(f"{short}/{case}: pinned but no longer generated")
+    return problems
+
+
+def _first_component_drift(old: dict, new: dict) -> str:
+    if old.get("randomizer") != new["randomizer"]:
+        return "randomizer"
+    if old.get("fors_sha256") != new["fors_sha256"]:
+        return "fors"
+    old_layers = old.get("layers", [])
+    for layer, entry in enumerate(new["layers"]):
+        before = old_layers[layer] if layer < len(old_layers) else {}
+        if before.get("wots_sha256") != entry["wots_sha256"]:
+            return f"wots (layer {layer})"
+        if before.get("auth_sha256") != entry["auth_sha256"]:
+            return f"merkle (layer {layer} auth path)"
+    return "unknown (component digests match)"

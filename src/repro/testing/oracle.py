@@ -1,0 +1,413 @@
+"""The cross-backend differential oracle.
+
+Every execution strategy in this repository — the scalar reference
+backend, the vectorized CPU backend, the modeled-GPU backend, the
+:class:`~repro.runtime.scheduler.BatchScheduler` service layer, and the
+async :class:`~repro.service.server.SigningService` — promises the same
+thing: byte-identical SPHINCS+ signatures in deterministic mode.  The
+oracle *enforces* that promise.  It signs a shared adversarial corpus
+(:func:`repro.testing.corpus.message_corpus`) on a reference scheme, runs
+every registered path over the same corpus and keys, and reports:
+
+* **matched** — signature bytes identical to the reference, and
+* **verified** — the signature round-trips through ``verify``.
+
+When a path diverges, the oracle names the first diverging hop: it
+deserializes both signatures and walks the component layout in signing
+order (randomizer -> FORS trees -> per-layer WOTS chains -> per-layer
+Merkle auth paths), so a report says ``wots (layer 2)``, not "bytes
+differ".  A diverging signature that still *verifies* would be a silently
+wrong signature — the one outcome a conformance suite exists to make
+impossible — and is flagged as undetected, which fails the run louder
+than an ordinary mismatch.
+
+Fault injection plugs in here: install a
+:class:`~repro.testing.faults.BitFlipFault` on one backend and the oracle
+must (a) catch the divergence, (b) name the stage, and (c) confirm the
+faulty signature fails verification.  The reference path additionally
+localizes the fault with the ``sphincs/`` tracing hooks
+(:func:`repro.testing.tracing.capture_trace`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ConformanceError, SignatureFormatError, TuningError
+from ..params import SphincsParams, get_params
+from ..runtime.registry import available_backends, get_backend
+from ..runtime.scheduler import BatchScheduler
+from ..sphincs.signer import KeyPair, Sphincs
+from .corpus import message_corpus
+from .faults import BitFlipFault
+from .tracing import capture_trace, first_divergence
+
+__all__ = ["Divergence", "PathResult", "ConformanceReport",
+           "DifferentialOracle", "localize_divergence"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One path/case pair whose signature differed from the reference.
+
+    ``verify_failed`` records *how* the divergence was caught.  ``True``
+    means plain verification already rejects the signature.  ``False`` is
+    the more dangerous class from the SPHINCS+ fault-attack literature: a
+    corrupted auth-path node used consistently in both the signature and
+    the root computation yields a *valid-looking* signature that only the
+    byte-level differential compare exposes — verification alone would
+    have served it.  Either way the oracle caught it; the report just
+    says which net did.
+    """
+
+    path: str      # e.g. "backend:vectorized"
+    case: str      # corpus case name
+    stage: str     # first diverging component, e.g. "wots (layer 2)"
+    verify_failed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        verdict = ("caught by verify" if self.verify_failed
+                   else "verifies — caught by differential compare only "
+                        "(fault-attack class)")
+        text = f"{self.path} / {self.case}: diverges at {self.stage} ({verdict})"
+        return f"{text} — {self.detail}" if self.detail else text
+
+
+@dataclass
+class PathResult:
+    """One signing path's outcome over the whole corpus."""
+
+    path: str
+    count: int = 0
+    matched: int = 0
+    verified: int = 0
+    elapsed_s: float = 0.0
+    divergences: list[Divergence] = field(default_factory=list)
+    error: str = ""    # a path that failed outright (exception) reports here
+    skipped: str = ""  # a path that cannot serve this parameter set
+
+    @property
+    def ok(self) -> bool:
+        if self.skipped:
+            return True  # a declared capability limit is not a divergence
+        return (not self.divergences and not self.error
+                and self.matched == self.count == self.verified)
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one oracle run established."""
+
+    params: str
+    cases: list[str]
+    results: list[PathResult]
+    fault_spec: str | None = None
+    fault_fired: bool = False
+    fault_hop: str | None = None  # trace-level localization, reference path
+
+    @property
+    def passed(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def divergences(self) -> list[Divergence]:
+        return [d for result in self.results for d in result.divergences]
+
+    def first_divergence(self) -> Divergence | None:
+        found = self.divergences
+        return found[0] if found else None
+
+    def render(self, title: str = "Conformance oracle") -> str:
+        from ..analysis.reporting import format_table
+
+        rows = []
+        for result in self.results:
+            status = ("skipped" if result.skipped
+                      else "ok" if result.ok
+                      else "ERROR" if result.error else "DIVERGED")
+            rows.append([result.path, result.count, result.matched,
+                         result.verified, round(result.elapsed_s, 3), status])
+        lines = [format_table(
+            ["path", "cases", "matched", "verified", "wall s", "status"],
+            rows, title=f"{title} — {self.params}, {len(self.cases)} cases",
+        )]
+        for result in self.results:
+            if result.error:
+                lines.append(f"  {result.path}: {result.error}")
+            elif result.skipped:
+                lines.append(f"  {result.path}: skipped — {result.skipped}")
+        for divergence in self.divergences:
+            lines.append(f"  {divergence}")
+        if self.fault_spec is not None:
+            fired = "fired" if self.fault_fired else "NEVER FIRED"
+            lines.append(f"  injected fault {self.fault_spec}: {fired}")
+            if self.fault_hop is not None:
+                lines.append(f"  reference trace diverges at {self.fault_hop}")
+        return "\n".join(lines)
+
+
+def localize_divergence(scheme: Sphincs, expected: bytes,
+                        actual: bytes) -> str:
+    """Name the first diverging component of two signature blobs.
+
+    Components are compared in signing order, so the answer is the first
+    *hop* at which the two computations parted ways: ``randomizer``,
+    ``fors (tree k ...)``, ``wots (layer d)``, or ``merkle (layer d auth
+    path)``.
+    """
+    if len(expected) != len(actual):
+        return f"length ({len(actual)} bytes, expected {len(expected)})"
+    try:
+        rand_e, fors_e, ht_e = scheme.deserialize(expected)
+        rand_a, fors_a, ht_a = scheme.deserialize(actual)
+    except SignatureFormatError as exc:
+        return f"format ({exc})"
+    if rand_e != rand_a:
+        return "randomizer"
+    for tree, ((sec_e, path_e), (sec_a, path_a)) in enumerate(
+            zip(fors_e, fors_a)):
+        if sec_e != sec_a:
+            return f"fors (tree {tree} revealed secret)"
+        if path_e != path_a:
+            return f"fors (tree {tree} auth path)"
+    for layer, ((chains_e, path_e), (chains_a, path_a)) in enumerate(
+            zip(ht_e, ht_a)):
+        if chains_e != chains_a:
+            return f"wots (layer {layer})"
+        if path_e != path_a:
+            return f"merkle (layer {layer} auth path)"
+    return "none (byte-identical)"
+
+
+class DifferentialOracle:
+    """Run every signing path over one corpus and compare the bytes.
+
+    Parameters
+    ----------
+    params:
+        Parameter set under test.
+    backends:
+        Backend names to include; defaults to every registered backend,
+        so a backend added via ``register_backend`` joins the oracle with
+        no further wiring.
+    corpus:
+        ``(case, message)`` pairs; defaults to :func:`message_corpus`.
+    include_scheduler / include_service:
+        Also push the corpus through the ``BatchScheduler`` layer (per
+        backend) and the async ``SigningService`` (vectorized).
+    fault / fault_target:
+        Optional :class:`BitFlipFault` installed on *fault_target*'s
+        direct-backend pass — the oracle then demonstrates detection.
+    """
+
+    def __init__(self, params: SphincsParams | str = "128f",
+                 backends: list[str] | None = None,
+                 corpus: list[tuple[str, bytes]] | None = None,
+                 seed: int = 0, smoke: bool = False,
+                 include_scheduler: bool = True,
+                 include_service: bool = True,
+                 service_backend: str = "vectorized",
+                 fault: BitFlipFault | None = None,
+                 fault_target: str = "scalar"):
+        self.params = get_params(params) if isinstance(params, str) else params
+        self.backends = (list(backends) if backends is not None
+                         else list(available_backends()))
+        self.corpus = (corpus if corpus is not None
+                       else message_corpus(seed=seed, smoke=smoke))
+        self.include_scheduler = include_scheduler
+        self.include_service = include_service
+        self.service_backend = service_backend
+        self.fault = fault
+        self.fault_target = fault_target
+
+    # ------------------------------------------------------------------
+    def run(self) -> ConformanceReport:
+        scheme = Sphincs(self.params, deterministic=True)
+        keys = scheme.keygen(seed=bytes(3 * self.params.n))
+
+        reference = PathResult(path="reference")
+        expected: dict[str, bytes] = {}
+        started = time.perf_counter()
+        for case, message in self.corpus:
+            signature = scheme.sign(message, keys)
+            expected[case] = signature
+            reference.count += 1
+            reference.matched += 1
+            if scheme.verify(message, signature, keys.public):
+                reference.verified += 1
+            else:
+                reference.divergences.append(Divergence(
+                    path="reference", case=case, stage="verify",
+                    verify_failed=True,
+                    detail="reference signature failed verification",
+                ))
+        reference.elapsed_s = time.perf_counter() - started
+
+        results = [reference]
+        fault_fired = False
+        for name in self.backends:
+            fault = self.fault if name == self.fault_target else None
+            results.append(self._run_backend(name, scheme, keys, expected,
+                                             fault))
+            if fault is not None:
+                fault_fired = fault.fired
+        if self.include_scheduler:
+            results.extend(self._run_scheduler(scheme, keys, expected))
+        if self.include_service:
+            results.append(asyncio.run(
+                self._run_service(scheme, keys, expected)))
+
+        fault_hop = None
+        if self.fault is not None and self.corpus:
+            # Localize on the reference path via the sphincs/ trace hooks:
+            # same fault parameters, fresh counters, first corpus message.
+            replica = dataclasses.replace(self.fault)
+            case, message = self.corpus[0]
+            clean = capture_trace(self.params, message, keys)
+            faulted = capture_trace(self.params, message, keys, fault=replica)
+            hit = first_divergence(clean, faulted)
+            if hit is not None:
+                index, _, hop = hit
+                fault_hop = f"hop {index}: {hop.stage}[{hop.label}]"
+
+        return ConformanceReport(
+            params=self.params.name,
+            cases=[case for case, _ in self.corpus],
+            results=results,
+            fault_spec=self.fault.spec if self.fault is not None else None,
+            fault_fired=fault_fired,
+            fault_hop=fault_hop,
+        )
+
+    # ------------------------------------------------------------------
+    def _compare(self, result: PathResult, scheme: Sphincs, keys: KeyPair,
+                 expected: dict[str, bytes],
+                 produced: dict[str, bytes]) -> None:
+        for case, message in self.corpus:
+            result.count += 1
+            signature = produced.get(case)
+            if signature is None:
+                result.divergences.append(Divergence(
+                    path=result.path, case=case, stage="missing",
+                    verify_failed=True, detail="path produced no signature",
+                ))
+                continue
+            verifies = scheme.verify(message, signature, keys.public)
+            if verifies:
+                result.verified += 1
+            if signature == expected[case]:
+                result.matched += 1
+                if not verifies:
+                    result.divergences.append(Divergence(
+                        path=result.path, case=case, stage="verify",
+                        verify_failed=True,
+                        detail="matching signature failed verification",
+                    ))
+            else:
+                stage = localize_divergence(scheme, expected[case], signature)
+                result.divergences.append(Divergence(
+                    path=result.path, case=case, stage=stage,
+                    verify_failed=not verifies,
+                ))
+
+    def _run_backend(self, name: str, scheme: Sphincs, keys: KeyPair,
+                     expected: dict[str, bytes],
+                     fault: BitFlipFault | None) -> PathResult:
+        result = PathResult(path=f"backend:{name}")
+        started = time.perf_counter()
+        try:
+            backend = get_backend(name, self.params, deterministic=True)
+            messages = [message for _, message in self.corpus]
+            if fault is not None:
+                get_context = getattr(backend, "hash_context", None)
+                if get_context is None:
+                    raise ConformanceError(
+                        f"backend {name!r} does not expose hash_context(); "
+                        "cannot install a fault on it (see "
+                        "SigningBackend.hash_context)"
+                    )
+                try:
+                    context = get_context()
+                except Exception as exc:  # declared untappable
+                    raise ConformanceError(
+                        f"cannot install fault on backend {name!r}: {exc}"
+                    ) from exc
+                with fault.install(context):
+                    signatures = backend.sign_batch(messages, keys).signatures
+            else:
+                signatures = backend.sign_batch(messages, keys).signatures
+            produced = {case: signature for (case, _), signature
+                        in zip(self.corpus, signatures)}
+            self._compare(result, scheme, keys, expected, produced)
+        except ConformanceError:
+            raise  # harness misconfiguration, not a conformance finding
+        except TuningError as exc:
+            # The backend declares it cannot serve this parameter set
+            # (e.g. modeled-gpu: a 128s FORS tree exceeds the thread
+            # budget).  A stated capability limit is not a divergence.
+            result.skipped = str(exc)
+        except Exception as exc:  # noqa: BLE001 — a path failing is a finding
+            result.error = f"{type(exc).__name__}: {exc}"
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    def _run_scheduler(self, scheme: Sphincs, keys: KeyPair,
+                       expected: dict[str, bytes]) -> list[PathResult]:
+        results = []
+        for name in self.backends:
+            result = PathResult(path=f"scheduler:{name}")
+            started = time.perf_counter()
+            try:
+                scheduler = BatchScheduler(
+                    target_batch_size=max(2, len(self.corpus) // 2),
+                    backend=name, deterministic=True)
+                tickets = scheduler.run(
+                    [message for _, message in self.corpus],
+                    params=self.params.name, backend=name)
+                produced = {case: scheduler.claim(ticket)
+                            for (case, _), ticket
+                            in zip(self.corpus, tickets)}
+                self._compare(result, scheme, keys, expected, produced)
+            except TuningError as exc:
+                result.skipped = str(exc)
+            except Exception as exc:  # noqa: BLE001
+                result.error = f"{type(exc).__name__}: {exc}"
+            result.elapsed_s = time.perf_counter() - started
+            results.append(result)
+        return results
+
+    async def _run_service(self, scheme: Sphincs, keys: KeyPair,
+                           expected: dict[str, bytes]) -> PathResult:
+        from ..service import Keystore, SigningService
+
+        result = PathResult(path=f"service:{self.service_backend}")
+        started = time.perf_counter()
+        service = None
+        try:
+            keystore = Keystore()
+            keystore.add_tenant("oracle", self.params.name)
+            keystore.generate_key("oracle", "default",
+                                  seed=bytes(3 * self.params.n))
+            service = SigningService(
+                keystore, backend=self.service_backend,
+                target_batch_size=max(2, len(self.corpus) // 2),
+                max_wait_s=0.05, max_pending=max(64, 2 * len(self.corpus)),
+                deterministic=True)
+            outcomes = await asyncio.gather(*[
+                service.sign(message, "oracle")
+                for _, message in self.corpus])
+            produced = {case: outcome.signature for (case, _), outcome
+                        in zip(self.corpus, outcomes)}
+            self._compare(result, scheme, keys, expected, produced)
+        except Exception as exc:  # noqa: BLE001
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if service is not None:
+                await service.drain()
+                service.close()
+        result.elapsed_s = time.perf_counter() - started
+        return result

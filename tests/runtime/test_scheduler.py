@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import BackendError
+from repro.errors import BackendError, UnknownTicketError
 from repro.runtime import BatchScheduler
 
 
@@ -37,9 +37,11 @@ class TestQueueing:
         t0 = scheduler.submit(b"first")
         t1 = scheduler.submit(b"second")
         assert scheduler.claim(t0) is not None
-        assert scheduler.signature(t0) is None  # released
+        with pytest.raises(UnknownTicketError, match="already claimed"):
+            scheduler.signature(t0)  # released
         assert scheduler.signature(t1) is not None  # peek keeps it
-        assert scheduler.claim(t0) is None  # double-claim is None
+        with pytest.raises(UnknownTicketError, match="already claimed"):
+            scheduler.claim(t0)  # double-claim is typed, not ambiguous
 
     def test_failed_dispatch_preserves_queue(self):
         scheduler = BatchScheduler(target_batch_size=1, deterministic=True)
@@ -152,7 +154,8 @@ class TestResultStoreBounds:
                                    max_retained=2)
         tickets = [scheduler.submit(f"m{i}".encode()) for i in range(3)]
         assert scheduler.evicted == 1
-        assert scheduler.signature(tickets[0]) is None  # oldest evicted
+        with pytest.raises(UnknownTicketError, match="evicted"):
+            scheduler.signature(tickets[0])  # oldest evicted
         assert scheduler.signature(tickets[1]) is not None
         assert scheduler.signature(tickets[2]) is not None
 

@@ -1,0 +1,122 @@
+"""Ticket lifecycle: None means exactly one thing — not dispatched yet.
+
+Satellite for the conformance PR: `signature()`/`claim()` raise the typed
+`UnknownTicketError` for never-issued, already-claimed, and evicted
+tickets, so callers can no longer mistake an evicted result (gone
+forever) for a queued one (coming soon).
+"""
+
+import pytest
+
+from repro.errors import BackendError, UnknownTicketError
+from repro.runtime import BatchScheduler
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("target_batch_size", 1)
+    kwargs.setdefault("deterministic", True)
+    return BatchScheduler(**kwargs)
+
+
+class TestNeverIssued:
+    @pytest.mark.parametrize("bogus", [0, 99, -1, True, "0", None, 1.0])
+    def test_fresh_scheduler_knows_no_tickets(self, bogus):
+        scheduler = make_scheduler()
+        with pytest.raises(UnknownTicketError, match="never issued"):
+            scheduler.signature(bogus)
+        with pytest.raises(UnknownTicketError, match="never issued"):
+            scheduler.claim(bogus)
+
+    def test_future_ticket_rejected(self):
+        scheduler = make_scheduler(target_batch_size=4)
+        ticket = scheduler.submit(b"m")
+        with pytest.raises(UnknownTicketError, match="never issued"):
+            scheduler.signature(ticket + 1)
+
+    def test_typed_error_is_catchable_as_backend_error(self):
+        scheduler = make_scheduler()
+        with pytest.raises(BackendError):
+            scheduler.claim(41)
+        with pytest.raises(KeyError):  # dict-like callers keep working
+            scheduler.claim(41)
+
+
+class TestQueuedIsNone:
+    def test_pending_ticket_peeks_and_claims_as_none(self):
+        scheduler = make_scheduler(target_batch_size=4)
+        ticket = scheduler.submit(b"queued")
+        assert scheduler.signature(ticket) is None
+        assert scheduler.claim(ticket) is None  # still only queued
+        scheduler.flush()
+        assert scheduler.claim(ticket) is not None
+
+
+class TestTicketTypeOnHitPath:
+    def test_bool_and_float_rejected_even_when_store_has_entries(self):
+        """hash(True) == hash(1): without the pre-lookup type gate,
+        claim(True) would silently redeem ticket 1's signature."""
+        scheduler = make_scheduler()
+        scheduler.submit(b"t0")
+        t1 = scheduler.submit(b"t1")
+        for bogus in (True, 1.0):
+            with pytest.raises(UnknownTicketError, match="never issued"):
+                scheduler.signature(bogus)
+            with pytest.raises(UnknownTicketError, match="never issued"):
+                scheduler.claim(bogus)
+        assert scheduler.claim(t1) is not None  # real holder unaffected
+
+
+class TestClaimed:
+    def test_double_claim_raises(self):
+        scheduler = make_scheduler()
+        ticket = scheduler.submit(b"once")
+        assert scheduler.claim(ticket) is not None
+        with pytest.raises(UnknownTicketError, match="already claimed"):
+            scheduler.claim(ticket)
+        with pytest.raises(UnknownTicketError, match="already claimed"):
+            scheduler.signature(ticket)
+
+
+class TestTerminalCompaction:
+    def test_tracking_sets_stay_bounded(self):
+        from repro.runtime import scheduler as scheduler_module
+
+        scheduler = make_scheduler(max_retained=1)
+        bound = scheduler_module._MAX_TERMINAL_TRACKED
+        # Fake a long-lived service cheaply: register terminal tickets
+        # through the same bookkeeping the real paths use.
+        for i in range(bound + 100):
+            scheduler._next_ticket = i + 1
+            scheduler._claimed.add(i)
+            scheduler._compact_terminal()
+        assert (len(scheduler._claimed)
+                + len(scheduler._evicted_tickets)) <= bound
+        assert scheduler._terminal_floor > 0
+        # Compacted-away tickets still raise, with the combined message.
+        with pytest.raises(UnknownTicketError, match="claimed or evicted"):
+            scheduler.signature(0)
+        # Recent ones keep their exact diagnosis.
+        with pytest.raises(UnknownTicketError, match="already claimed"):
+            scheduler.signature(bound + 99)
+
+    def test_old_but_still_queued_ticket_survives_compaction(self):
+        scheduler = make_scheduler(target_batch_size=10**9)
+        old = scheduler.submit(b"stuck in queue")
+        scheduler._terminal_floor = old + 1  # as if compaction passed it
+        assert scheduler.signature(old) is None  # queued, not terminal
+        scheduler.flush()
+        assert scheduler.claim(old) is not None
+
+
+class TestEvicted:
+    def test_evicted_ticket_raises_with_remedy(self):
+        scheduler = make_scheduler(max_retained=2)
+        tickets = [scheduler.submit(f"m{i}".encode()) for i in range(3)]
+        assert scheduler.evicted == 1
+        with pytest.raises(UnknownTicketError, match="evicted"):
+            scheduler.signature(tickets[0])
+        with pytest.raises(UnknownTicketError, match="max_retained=2"):
+            scheduler.claim(tickets[0])
+        # The retained ones are untouched.
+        assert scheduler.signature(tickets[1]) is not None
+        assert scheduler.claim(tickets[2]) is not None

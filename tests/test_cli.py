@@ -90,3 +90,65 @@ class TestServiceCli:
     def test_loadtest_rejects_empty_tenants(self, capsys):
         assert main(["loadtest", "--tenants", ","]) == 2
         assert "--tenants" in capsys.readouterr().err
+
+
+class TestConformanceCli:
+    """The `repro conformance` acceptance flow, end to end."""
+
+    def test_smoke_clean_tree_exits_zero(self, capsys):
+        assert main(["conformance", "--params", "128f", "--smoke",
+                     "--backends", "scalar,vectorized",
+                     "--no-service"]) == 0
+        out = capsys.readouterr().out
+        assert "backend:scalar" in out and "scheduler:vectorized" in out
+        assert "all paths byte-identical and verified" in out
+
+    def test_injected_fault_exits_nonzero_naming_stage(self, capsys):
+        code = main(["conformance", "--params", "128f", "--smoke",
+                     "--backends", "scalar,vectorized", "--no-service",
+                     "--inject-fault", "thash:bitflip"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "DIVERGED" in captured.out
+        assert "injected fault thash:bitflip:7:0: fired" in captured.out
+        assert "first divergence at" in captured.err
+
+    def test_unfired_fault_exits_two(self, capsys):
+        code = main(["conformance", "--params", "128f", "--smoke",
+                     "--backends", "scalar", "--no-service",
+                     "--inject-fault", "thash:bitflip:999999999"])
+        assert code == 2
+        assert "never fired" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_two(self, capsys):
+        assert main(["conformance", "--inject-fault", "thash:stuckat"]) == 2
+        assert "fault spec" in capsys.readouterr().err
+
+    def test_unknown_params_exits_two_not_one(self, capsys):
+        """Misconfiguration must never masquerade as a divergence."""
+        assert main(["conformance", "--params", "640k", "--smoke",
+                     "--no-service"]) == 2
+        assert "640k" in capsys.readouterr().err
+        assert main(["conformance", "--check-kats",
+                     "--params", "640k"]) == 2
+
+    def test_kat_regen_and_check_round_trip(self, tmp_path, capsys):
+        assert main(["conformance", "--regen-kats", "--params", "128f",
+                     "--vectors-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "kat_128f.json").exists()
+        assert main(["conformance", "--check-kats", "--params", "128f",
+                     "--vectors-dir", str(tmp_path)]) == 0
+        assert "kat 128f: ok" in capsys.readouterr().out
+
+    def test_kat_drift_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        assert main(["conformance", "--regen-kats", "--params", "128f",
+                     "--vectors-dir", str(tmp_path)]) == 0
+        path = tmp_path / "kat_128f.json"
+        payload = json.loads(path.read_text())
+        payload["messages"][0]["signature_sha256"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert main(["conformance", "--check-kats", "--params", "128f",
+                     "--vectors-dir", str(tmp_path)]) == 1
+        assert "KAT DRIFT" in capsys.readouterr().out

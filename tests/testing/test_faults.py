@@ -1,0 +1,96 @@
+"""Deterministic fault injection: the detection contract."""
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.sphincs.signer import Sphincs
+from repro.testing import BitFlipFault, flip_bit, parse_fault
+
+
+class TestFlipBit:
+    def test_flips_exactly_one_bit(self):
+        data = bytes(16)
+        flipped = flip_bit(data, 11)
+        assert flipped != data
+        diff = int.from_bytes(data, "big") ^ int.from_bytes(flipped, "big")
+        assert bin(diff).count("1") == 1
+        assert flip_bit(flipped, 11) == data  # involution
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConformanceError, match="out of range"):
+            flip_bit(bytes(4), 32)
+
+
+class TestParseFault:
+    def test_defaults_and_fields(self):
+        fault = parse_fault("thash:bitflip")
+        assert (fault.target, fault.call_index, fault.bit) == ("thash", 7, 0)
+        fault = parse_fault("prf:bitflip:120:5")
+        assert (fault.target, fault.call_index, fault.bit) == ("prf", 120, 5)
+
+    @pytest.mark.parametrize("spec", [
+        "thash", "thash:stuckat", "gamma:bitflip", "thash:bitflip:x",
+        "thash:bitflip:1:2:3:4", "thash:bitflip:-1",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConformanceError):
+            parse_fault(spec)
+
+
+class TestInstall:
+    def test_hook_installs_and_restores(self):
+        scheme = Sphincs("128f", deterministic=True)
+        original = scheme.ctx.thash
+        fault = BitFlipFault(call_index=0)
+        with fault.install(scheme.ctx):
+            assert scheme.ctx.thash is not original
+        assert scheme.ctx.thash == original
+        assert "thash" not in scheme.ctx.__dict__
+
+    def test_double_install_rejected(self):
+        scheme = Sphincs("128f", deterministic=True)
+        fault = BitFlipFault()
+        with fault.install(scheme.ctx):
+            with pytest.raises(ConformanceError, match="already installed"):
+                with BitFlipFault().install(scheme.ctx):
+                    pass
+
+    def test_unreached_call_index_never_fires(self):
+        scheme = Sphincs("128f", deterministic=True)
+        keys = scheme.keygen(seed=bytes(48))
+        fault = BitFlipFault(call_index=10**9)
+        with fault.install(scheme.ctx):
+            signature = scheme.sign(b"msg", keys)
+        assert not fault.fired
+        assert fault.calls_seen > 0
+        assert scheme.verify(b"msg", signature, keys.public)
+
+
+class TestDetection:
+    """Every injected fault must be *detected*: either verification fails,
+    or the signature bytes diverge from the clean run (the fault-attack
+    class the differential oracle exists to catch).  A fault must never
+    produce the clean signature."""
+
+    @pytest.mark.parametrize("call_index", [0, 7, 64, 300])
+    def test_thash_fault_never_silent(self, call_index):
+        scheme = Sphincs("128f", deterministic=True)
+        keys = scheme.keygen(seed=bytes(48))
+        clean = scheme.sign(b"fault victim", keys)
+        fault = BitFlipFault(call_index=call_index)
+        with fault.install(scheme.ctx):
+            faulty = scheme.sign(b"fault victim", keys)
+        assert fault.fired
+        assert faulty != clean  # the corruption reached the output
+        # ... and the clean public key still verifies the clean signature
+        assert scheme.verify(b"fault victim", clean, keys.public)
+
+    def test_prf_fault_detected_by_verify(self):
+        scheme = Sphincs("128f", deterministic=True)
+        keys = scheme.keygen(seed=bytes(48))
+        fault = BitFlipFault(target="prf", call_index=0)
+        with fault.install(scheme.ctx):
+            faulty = scheme.sign(b"prf victim", keys)
+        assert fault.fired
+        # A corrupted revealed FORS secret cannot reproduce the leaf.
+        assert not scheme.verify(b"prf victim", faulty, keys.public)

@@ -1,0 +1,78 @@
+"""Pinned KAT vectors: presence, no drift, and drift localization."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConformanceError
+from repro.testing import (KAT_SETS, check_kat, default_vectors_dir,
+                           generate_kat, kat_corpus, load_kat)
+
+# The -s sets sign in seconds each; every pytest run checks the fast set
+# and one small set, CI's conformance job checks all four via
+# `repro conformance --check-kats`.  REPRO_KAT_FULL=1 forces all four here.
+TIER1_SETS = ("128f", "128s")
+CHECKED_SETS = KAT_SETS if os.environ.get("REPRO_KAT_FULL") else TIER1_SETS
+
+
+class TestPinnedVectors:
+    def test_all_four_sets_are_pinned_in_repo(self):
+        for params in KAT_SETS:
+            payload = load_kat(params)
+            assert payload["params"].endswith(params)
+            assert len(payload["messages"]) == len(kat_corpus())
+            for entry in payload["messages"]:
+                assert len(entry["signature_sha256"]) == 64
+                assert entry["components"]["layers"]
+
+    @pytest.mark.parametrize("params", CHECKED_SETS)
+    def test_no_drift(self, params):
+        assert check_kat(params) == []
+
+    def test_missing_vector_has_actionable_error(self, tmp_path):
+        with pytest.raises(ConformanceError, match="--regen-kats"):
+            load_kat("128f", vectors_dir=tmp_path)
+
+
+class TestDriftDetection:
+    def _pinned_copy(self, tmp_path):
+        source = default_vectors_dir() / "kat_128f.json"
+        target = tmp_path / "kat_128f.json"
+        target.write_text(source.read_text())
+        return target
+
+    def test_tampered_signature_digest_is_localized(self, tmp_path):
+        target = self._pinned_copy(tmp_path)
+        payload = json.loads(target.read_text())
+        entry = payload["messages"][0]
+        entry["signature_sha256"] = "0" * 64
+        entry["components"]["fors_sha256"] = "0" * 64
+        target.write_text(json.dumps(payload))
+        problems = check_kat("128f", vectors_dir=tmp_path)
+        assert len(problems) == 1
+        assert "drifted at fors" in problems[0]
+
+    def test_tampered_public_key_reported(self, tmp_path):
+        target = self._pinned_copy(tmp_path)
+        payload = json.loads(target.read_text())
+        payload["public_key_hex"] = "00" + payload["public_key_hex"][2:]
+        target.write_text(json.dumps(payload))
+        problems = check_kat("128f", vectors_dir=tmp_path)
+        assert any("public_key_hex drifted" in p for p in problems)
+
+    def test_missing_case_reported(self, tmp_path):
+        target = self._pinned_copy(tmp_path)
+        payload = json.loads(target.read_text())
+        del payload["messages"][1]
+        target.write_text(json.dumps(payload))
+        problems = check_kat("128f", vectors_dir=tmp_path)
+        assert any("missing from pinned vector" in p for p in problems)
+
+    def test_regen_round_trips(self, tmp_path):
+        generate_kat("128f", vectors_dir=tmp_path)
+        assert check_kat("128f", vectors_dir=tmp_path) == []
+        # ... and matches the repo-pinned vector byte for byte.
+        assert (json.loads((tmp_path / "kat_128f.json").read_text())
+                == json.loads((default_vectors_dir()
+                               / "kat_128f.json").read_text()))

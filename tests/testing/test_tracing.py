@@ -1,0 +1,59 @@
+"""The sphincs/ instrumentation hooks and trace comparison."""
+
+from repro.params import get_params
+from repro.sphincs.signer import Sphincs
+from repro.testing import capture_trace, first_divergence, parse_fault
+
+
+class TestCaptureTrace:
+    def test_stage_sequence_matches_signing_order(self):
+        hops = capture_trace("128f", b"trace me")
+        stages = [hop.stage for hop in hops]
+        params = get_params("128f")
+        # prepare, then FORS subtrees feed one fors record pair, then per
+        # hypertree layer a merkle subtree root and a WOTS bundle, then
+        # the final hypertree root.
+        assert stages[0] == "prepare"
+        assert stages[1:3] == ["fors", "fors"]
+        assert stages[-1] == "hypertree"
+        assert stages.count("wots") == params.d
+        assert stages.count("merkle") == params.d
+
+    def test_deterministic_and_message_sensitive(self):
+        assert capture_trace("128f", b"a") == capture_trace("128f", b"a")
+        trace_a = capture_trace("128f", b"a")
+        trace_b = capture_trace("128f", b"b")
+        assert first_divergence(trace_a, trace_b) is not None
+
+    def test_tracer_detaches_after_capture(self):
+        scheme = Sphincs("128f", deterministic=True)
+        assert scheme.ctx.tracer is None
+        capture_trace("128f", b"x")
+        assert scheme.ctx.tracer is None  # untouched, and no global state
+
+
+class TestFirstDivergence:
+    def test_identical_traces_have_no_divergence(self):
+        trace = capture_trace("128f", b"same")
+        assert first_divergence(trace, list(trace)) is None
+
+    def test_fault_localized_to_fors_hop(self):
+        clean = capture_trace("128f", b"victim")
+        faulted = capture_trace("128f", b"victim",
+                                fault=parse_fault("thash:bitflip:7:0"))
+        hit = first_divergence(clean, faulted)
+        assert hit is not None
+        index, clean_hop, faulted_hop = hit
+        # Call 7 lands in the first FORS tree build, so the first recorded
+        # difference is the FORS stage (prepare is hash-fault-free).
+        assert clean_hop.stage == "fors"
+        assert faulted_hop.stage == "fors"
+        assert clean_hop.digest != faulted_hop.digest
+        assert clean[index - 1] == faulted[index - 1]  # prefix identical
+
+    def test_length_mismatch_reported_as_absent(self):
+        trace = capture_trace("128f", b"short")
+        hit = first_divergence(trace, trace[:-1])
+        assert hit is not None
+        _, _, missing = hit
+        assert missing.stage == "<absent>"
