@@ -8,6 +8,7 @@ be inspected after a run.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,6 +17,19 @@ from repro.gpusim.device import get_device
 from repro.gpusim.engine import TimingEngine
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Smoke mode (``REPRO_SMOKE=1``): tiny configurations for CI.  JSON perf
+#: baselines are mode-specific — smoke runs write under ``results/smoke/``
+#: so they never clobber the pinned full-mode numbers (and vice versa);
+#: ``compare_baselines.py`` picks the matching pinned file per mode.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+def json_baseline_dir() -> pathlib.Path:
+    """Where this run's JSON perf baselines belong (mode-specific)."""
+    directory = RESULTS_DIR / "smoke" if SMOKE else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
 
 
 @pytest.fixture(scope="session")
@@ -30,10 +44,12 @@ def engine():
 
 @pytest.fixture(scope="session")
 def emit():
-    RESULTS_DIR.mkdir(exist_ok=True)
+    # Same mode split as the JSON baselines: a smoke run must never
+    # clobber the pinned full-mode tables in the working tree.
+    directory = json_baseline_dir()
 
     def _emit(name: str, text: str) -> None:
         print(f"\n{text}\n")
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        (directory / f"{name}.txt").write_text(text + "\n")
 
     return _emit

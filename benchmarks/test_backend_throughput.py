@@ -10,13 +10,12 @@ cross-batch subtree memo), so the assertion has generous headroom.
 """
 
 import json
-import pathlib
+
+from conftest import SMOKE, json_baseline_dir
 
 from repro.runtime import get_backend
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-BATCH = 64
+BATCH = 16 if SMOKE else 64
 SEED = bytes(48)
 
 
@@ -41,6 +40,7 @@ def test_scalar_vs_vectorized_64_batch(emit):
 
     record = {
         "params": "SPHINCS+-128f",
+        "smoke": SMOKE,
         "batch": BATCH,
         "scalar": {
             "elapsed_s": round(result_scalar.elapsed_s, 4),
@@ -57,8 +57,7 @@ def test_scalar_vs_vectorized_64_batch(emit):
         },
         "speedup": round(ratio, 4),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "backend_throughput.json").write_text(
+    (json_baseline_dir() / "backend_throughput.json").write_text(
         json.dumps(record, indent=2) + "\n")
 
     from repro.analysis import format_table

@@ -12,15 +12,11 @@ service path end-to-end on every push.
 
 import asyncio
 import json
-import os
-import pathlib
+
+from conftest import SMOKE, json_baseline_dir
 
 from repro.service import (Keystore, LoadGenerator, SigningService,
                            derive_seed, poisson_trace)
-
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 MESSAGES = 8 if SMOKE else 48
 # Full runs offer load just under the vectorized backend's single-lock
 # capacity (~13 sig/s on the reference box) so the record is a *latency*
@@ -79,8 +75,7 @@ def test_service_poisson_latency(emit):
         "batch_histogram": stats["batches"]["histogram"],
         "shed": report.shed,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "service_latency.json").write_text(
+    (json_baseline_dir() / "service_latency.json").write_text(
         json.dumps(record, indent=2) + "\n")
 
     from repro.analysis import format_table

@@ -18,8 +18,11 @@ What to watch in the output:
 * The wallet tenant's lone low-latency request — a batch of one, signed
   within its 40 ms queue budget instead of stranding behind the target
   batch size.
+* With ``--workers N``, the per-worker pool table — each tenant's queue
+  homes on one worker via the consistent-hash ring, and batches for
+  different tenants sign concurrently on different cores.
 
-Usage: python examples/batch_signing_service.py [messages]
+Usage: python examples/batch_signing_service.py [messages] [--workers N]
 """
 
 import asyncio
@@ -48,7 +51,16 @@ def build_keystore() -> Keystore:
 
 
 async def main() -> None:
-    count = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("messages", type=int, nargs="?", default=12)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="size of the multi-process worker pool "
+                             "(0 = sign in-process)")
+    args = parser.parse_args()
+    workers = args.workers
+    count = args.messages
 
     service = SigningService(
         build_keystore(),
@@ -57,11 +69,13 @@ async def main() -> None:
         max_wait_s=0.08,        # ...and the tail-latency knob
         max_pending=64,
         deterministic=True,
+        workers=workers,        # >0: sign on a multi-process worker pool
     )
     server = SigningServer(service, port=0)
     await server.start()
+    pool_note = (f", {workers}-process worker pool" if workers else "")
     print(f"signing service on 127.0.0.1:{server.port} — "
-          f"tenants {dict(TENANTS)}\n")
+          f"tenants {dict(TENANTS)}{pool_note}\n")
     client = await ServiceClient.connect(port=server.port)
 
     try:

@@ -68,18 +68,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.batch_size < 0:
         print("serve: --batch-size must be >= 0", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("serve: --workers must be >= 0", file=sys.stderr)
+        return 2
+    backends = [name.strip() for name in args.backends.split(",")]
+    backend_options: dict[str, dict] = {}
+    pool = None
+    if args.workers > 0:
+        # Multi-core tier: every worker hosts the named backend.  One
+        # pool config per run, so exactly one inner backend is allowed —
+        # dropping the rest silently would fake the comparison the user
+        # asked for.
+        if len(backends) != 1:
+            print("serve: --workers takes exactly one --backends entry "
+                  f"(the pool's inner backend), got {args.backends!r}",
+                  file=sys.stderr)
+            return 2
+        if backends[0] == "pooled":
+            print("serve: --workers already routes through the pooled "
+                  "backend; name the inner backend (e.g. vectorized), "
+                  "not 'pooled'", file=sys.stderr)
+            return 2
+        # One shared pool for every parameter set: workers host one warm
+        # backend per set, so per-set PooledBackend instances must share
+        # processes rather than each spawning their own.
+        from .runtime import WorkerPool
+
+        pool = WorkerPool(workers=args.workers, backend=backends[0],
+                          deterministic=args.deterministic)
+        backend_options["pooled"] = {"pool": pool}
+        backends = ["pooled"]
     scheduler = BatchScheduler(
         target_batch_size=args.batch_size or args.messages,
         deterministic=args.deterministic,
         verify=args.verify,
+        backend_options=backend_options,
     )
-    for params in args.params.split(","):
-        for backend in args.backends.split(","):
-            scheduler.run(
-                (f"{params}/{backend}/msg{i}".encode()
-                 for i in range(args.messages)),
-                params=params.strip(), backend=backend.strip(),
-            )
+    try:
+        for params in args.params.split(","):
+            for backend in backends:
+                scheduler.run(
+                    (f"{params}/{backend}/msg{i}".encode()
+                     for i in range(args.messages)),
+                    params=params.strip(), backend=backend,
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     print(scheduler.report(
         title=f"Batch signing runtime, {args.messages} messages per "
               f"(set, backend)"
@@ -119,6 +154,7 @@ def _build_service(args: argparse.Namespace):
         max_wait_s=args.max_wait_ms / 1000.0,
         max_pending=args.max_pending,
         deterministic=args.deterministic,
+        workers=args.workers,
     )
 
 
@@ -134,6 +170,9 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                         help="latency budget before a partial batch ships")
     parser.add_argument("--max-pending", type=int, default=256,
                         help="shed requests beyond this queue depth")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="size of the multi-process worker pool "
+                             "(0 = sign in-process)")
     parser.add_argument("--deterministic", action="store_true",
                         help="deterministic backends and tenant key seeds")
 
@@ -150,7 +189,9 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         config = service.stats()["config"]
         print(f"signing service listening on {args.host}:{server.port}")
         print(f"  tenants       : {config['tenants']}")
-        print(f"  backend       : {config['backend']}")
+        print(f"  backend       : {config['backend']}"
+              + (f" on a {config['workers']}-process worker pool"
+                 if config["workers"] else ""))
         print(f"  batch size    : {config['target_batch_size']}, "
               f"max wait {config['max_wait_ms']} ms, "
               f"shed above {config['max_pending']} queued")
@@ -377,6 +418,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="messages per (set, backend)")
     p_serve.add_argument("--batch-size", type=int, default=0,
                          help="scheduler target batch size (default: all)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="run batches on a multi-process worker pool "
+                              "of this size (0 = in-process)")
     p_serve.add_argument("--deterministic", action="store_true")
     p_serve.add_argument("--verify", action="store_true",
                          help="verify every batch after signing")

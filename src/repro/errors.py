@@ -41,6 +41,12 @@ class UnknownTicketError(BackendError, KeyError):
         return Exception.__str__(self)
 
 
+class WorkerCrashedError(BackendError):
+    """A worker-pool batch could not complete: the worker process died and
+    every requeue attempt (bounded by the pool's ``max_retries``) landed on
+    a worker that also died before signing the batch."""
+
+
 class ConformanceError(ReproError):
     """The conformance subsystem found a divergence, drifted KAT vector,
     or was misconfigured (unknown fault spec, missing vector file)."""

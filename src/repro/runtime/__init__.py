@@ -18,6 +18,7 @@ registering one new backend — not forking the signer.
 """
 
 from .backend import BackendCapabilities, BatchSignResult, SigningBackend
+from .pool import PooledBackend, PoolSignOutcome, WorkerPool
 from .registry import available_backends, get_backend, register_backend
 from .scheduler import BatchScheduler, BatchStats
 
@@ -30,4 +31,7 @@ __all__ = [
     "register_backend",
     "BatchScheduler",
     "BatchStats",
+    "WorkerPool",
+    "PooledBackend",
+    "PoolSignOutcome",
 ]

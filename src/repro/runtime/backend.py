@@ -73,6 +73,11 @@ class SigningBackend(abc.ABC):
     """
 
     name: str = "abstract"
+    #: Whether independent batches may be dispatched to this backend
+    #: concurrently.  In-process backends default to False (their caches
+    #: are not thread-safe and the GIL serializes hashing anyway); the
+    #: worker-pool backend overrides this so a service overlaps batches.
+    concurrent_dispatch: bool = False
 
     def __init__(self, params: SphincsParams | str,
                  deterministic: bool = False):

@@ -25,6 +25,7 @@ _REGISTRY: dict[str, str | BackendFactory] = {
     "scalar": "repro.runtime.scalar:ScalarBackend",
     "vectorized": "repro.runtime.vectorized:VectorizedBackend",
     "modeled-gpu": "repro.runtime.modeled_gpu:ModeledGpuBackend",
+    "pooled": "repro.runtime.pool:PooledBackend",
 }
 
 

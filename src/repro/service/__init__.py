@@ -21,6 +21,12 @@ Module map
     :class:`SigningService` (keystore + batcher + admission control +
     telemetry, in-process ``await service.sign(...)`` API) and
     :class:`SigningServer` (the newline-delimited JSON TCP front end).
+:mod:`.dispatch`
+    :class:`ShardedDispatcher` — consistent-hashes ``(tenant, key)``
+    batches onto the slots of a :class:`~repro.runtime.pool.WorkerPool`
+    when the service runs with ``workers=N``, preserving per-key cache
+    affinity while different tenants sign concurrently on different
+    cores.
 :mod:`.client`
     :class:`ServiceClient` — pipelined async TCP client; many in-flight
     requests per connection, matched by request id.
@@ -45,6 +51,7 @@ from ..errors import (KeystoreError, OverloadedError, ProtocolError,
                       ServiceError)
 from .batcher import DeadlineBatcher, PendingSign
 from .client import ServiceClient
+from .dispatch import DispatchOutcome, ShardedDispatcher
 from .keystore import Keystore, TenantRecord, derive_seed
 from .loadgen import (TRACES, LoadGenerator, LoadReport, bursty_trace,
                       make_trace, poisson_trace, ramp_trace)
@@ -53,6 +60,7 @@ from .telemetry import Telemetry, percentile, render_snapshot
 
 __all__ = [
     "DeadlineBatcher", "PendingSign",
+    "ShardedDispatcher", "DispatchOutcome",
     "Keystore", "TenantRecord", "derive_seed",
     "SigningService", "SigningServer", "SignOutcome",
     "ServiceClient",

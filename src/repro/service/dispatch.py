@@ -1,0 +1,115 @@
+"""Sharded dispatch: the async service's bridge onto the worker pool.
+
+:class:`ShardedDispatcher` is what the :class:`~.server.SigningService`
+uses instead of an in-process backend when a
+:class:`~repro.runtime.pool.WorkerPool` is attached.  It consistent-hashes
+each ``(tenant, key)`` queue onto one worker slot, so a tenant's repeat
+traffic always lands on the worker whose caches (FastOps templates, the
+cross-batch subtree memo) are already warm for its key — and different
+tenants' batches land on *different* workers and sign concurrently, which
+is where the multi-core throughput comes from.
+
+Two refinements keep the routing honest under real traffic:
+
+* **Large batches split.**  A single hot tenant whose batches reach two
+  messages per worker would otherwise pin the whole service to one core;
+  such batches are chunked across every worker (per-message signing is
+  independent, so the bytes are unchanged).
+* **Affinity is advisory, not a lock.**  Crash recovery inside the pool
+  may re-route a batch to a sibling; the dispatcher's route table reports
+  where traffic *homes*, the pool's stats report where it actually ran.
+
+Dispatch runs the blocking pool collect in the event loop's executor, so
+the loop stays free while worker processes sign.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..runtime.pool import PoolSignOutcome, WorkerPool
+from ..sphincs.signer import KeyPair
+
+__all__ = ["DispatchOutcome", "ShardedDispatcher"]
+
+
+@dataclass(frozen=True)
+class DispatchOutcome:
+    """One batch signed through the pool, with routing metadata."""
+
+    signatures: list[bytes]
+    workers: tuple[int, ...]
+    elapsed_s: float
+    requeues: int
+    split: bool
+
+
+class ShardedDispatcher:
+    """Route ``(tenant, key)`` batches onto worker-pool slots.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`WorkerPool`.  The dispatcher never owns it —
+        lifecycle belongs to whoever built the pool (the service).
+    split_factor:
+        Split a batch across every worker once it holds at least
+        ``split_factor * workers`` messages (0 disables splitting).
+    """
+
+    def __init__(self, pool: WorkerPool, split_factor: int = 2):
+        self.pool = pool
+        self.split_factor = split_factor
+        # (tenant, key) -> {"slot": int, "batches": int, "messages": int}
+        self._routes: dict[tuple[str, str], dict] = {}
+
+    # ------------------------------------------------------------------
+    def route(self, tenant: str, key_name: str) -> int:
+        """The worker slot that ``tenant/key_name`` traffic homes on."""
+        return self.pool.worker_for(f"{tenant}/{key_name}")
+
+    def warm(self, tenant: str, key_name: str, keys: KeyPair,
+             params: str) -> None:
+        """Preload the tenant's key caches on its home worker."""
+        self.pool.warm(keys, params, worker=self.route(tenant, key_name))
+
+    # ------------------------------------------------------------------
+    async def sign_batch(self, tenant: str, key_name: str,
+                         messages: list[bytes], keys: KeyPair,
+                         params: str) -> DispatchOutcome:
+        """Sign one batch on the pool without blocking the event loop."""
+        slot = self.route(tenant, key_name)
+        split = (self.split_factor > 0 and self.pool.workers > 1
+                 and len(messages) >= self.split_factor * self.pool.workers)
+        loop = asyncio.get_running_loop()
+
+        def blocking_sign() -> PoolSignOutcome:
+            if split:
+                return self.pool.sign_batch(messages, keys, params,
+                                            split=True)
+            return self.pool.sign_batch(messages, keys, params, worker=slot)
+
+        outcome = await loop.run_in_executor(None, blocking_sign)
+        entry = self._routes.setdefault(
+            (tenant, key_name), {"slot": slot, "batches": 0, "messages": 0})
+        entry["slot"] = slot
+        entry["batches"] += 1
+        entry["messages"] += len(messages)
+        return DispatchOutcome(
+            signatures=list(outcome.signatures),
+            workers=outcome.workers,
+            elapsed_s=outcome.elapsed_s,
+            requeues=outcome.requeues,
+            split=split,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Pool health plus the (tenant, key) -> slot route table."""
+        snapshot = self.pool.stats()
+        snapshot["routes"] = {
+            f"{tenant}/{key_name}": dict(entry)
+            for (tenant, key_name), entry in sorted(self._routes.items())
+        }
+        return snapshot

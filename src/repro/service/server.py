@@ -14,8 +14,17 @@ Design notes
   backend for the tenant's parameter set.
 * **Signing runs off the event loop.**  ``sign_batch`` is CPU-bound
   Python, so dispatch hands it to the default executor; a single dispatch
-  lock serializes batches because the vectorized backend's caches are not
-  thread-safe and the GIL would serialize the hashing anyway.
+  lock serializes batches for in-process backends because their caches
+  are not thread-safe and the GIL would serialize the hashing anyway.
+  Backends that declare ``concurrent_dispatch`` (the worker pool) skip
+  the lock entirely — two ready queues for different tenants sign at the
+  same time on different cores.
+* **A worker pool scales across cores.**  Construct the service with
+  ``workers=N`` and batches route through a
+  :class:`~.dispatch.ShardedDispatcher` onto a persistent
+  :class:`~repro.runtime.pool.WorkerPool`: each ``(tenant, key)`` homes
+  on one worker (cache affinity), oversized batches split across all of
+  them, and a crashed worker is respawned with its batches requeued.
 * **Admission control sheds early.**  If queued depth has reached
   ``max_pending``, :meth:`SigningService.sign` raises
   :class:`OverloadedError` *before* queueing — the client gets an
@@ -25,14 +34,17 @@ Design notes
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import dataclass
 
 from ..errors import (KeystoreError, OverloadedError, ProtocolError,
                       ServiceError)
 from ..runtime.backend import SigningBackend
+from ..runtime.pool import WorkerPool
 from ..runtime.registry import get_backend
 from . import protocol
 from .batcher import DeadlineBatcher, PendingSign, QueueKey
+from .dispatch import ShardedDispatcher
 from .keystore import Keystore
 from .telemetry import Telemetry, render_snapshot
 
@@ -63,11 +75,15 @@ class SigningService:
                  max_pending: int = 256,
                  deterministic: bool = False,
                  backend_options: dict[str, dict] | None = None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 workers: int = 0,
+                 pool: WorkerPool | None = None):
         if max_pending < 1:
             raise ServiceError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
         self.keystore = keystore if keystore is not None else Keystore()
         self.backend_name = backend
         self.max_pending = max_pending
@@ -80,6 +96,30 @@ class SigningService:
         )
         self._backends: dict[str, SigningBackend] = {}
         self._sign_lock = asyncio.Lock()
+        # Multi-core tier: with workers > 0 (or an externally owned pool),
+        # batches route through a ShardedDispatcher onto long-lived worker
+        # processes instead of the in-process backend.
+        self._owns_pool = pool is None and workers > 0
+        self.pool = pool if pool is not None else (
+            WorkerPool(workers=workers, backend=backend,
+                       deterministic=deterministic,
+                       backend_options=self.backend_options.get(backend, {}))
+            if workers > 0 else None)
+        self.dispatcher = (ShardedDispatcher(self.pool)
+                           if self.pool is not None else None)
+        if self.dispatcher is not None:
+            self.telemetry.set_pool_provider(self.dispatcher.stats)
+            self._preload_tenant_keys()
+
+    def _preload_tenant_keys(self) -> None:
+        """Warm every known tenant key on its home worker, so the first
+        real batch for a tenant skips the cold FastOps/subtree build."""
+        assert self.dispatcher is not None
+        for tenant in self.keystore.tenants():
+            params = self.keystore.params_for(tenant)
+            for key_name in self.keystore.key_names(tenant):
+                keys, _ = self.keystore.resolve(tenant, key_name)
+                self.dispatcher.warm(tenant, key_name, keys, params)
 
     # ------------------------------------------------------------------
     # In-process client API
@@ -118,6 +158,8 @@ class SigningService:
 
     def close(self) -> None:
         self.batcher.close()
+        if self.pool is not None and self._owns_pool:
+            self.pool.close()
 
     # ------------------------------------------------------------------
     # Dispatch (called by the batcher)
@@ -139,16 +181,35 @@ class SigningService:
         loop = asyncio.get_running_loop()
         try:
             keys, params_name = self.keystore.resolve(tenant, key_name)
-            backend = self._backend_for(params_name)
             messages = [request.message for request in batch]
-            async with self._sign_lock:
+            if self.dispatcher is not None:
+                # Pooled path: no dispatch lock — queues for different
+                # (tenant, key) shards sign concurrently on different
+                # worker processes.  The batcher fires each ready queue
+                # as its own task, so nothing here awaits a *previous*
+                # batch before this one starts.
                 dispatch_started = loop.time()
-                result = await loop.run_in_executor(
-                    None, backend.sign_batch, messages, keys)
-            if len(result.signatures) != len(batch):
+                outcome = await self.dispatcher.sign_batch(
+                    tenant, key_name, messages, keys, params_name)
+                signatures = outcome.signatures
+                backend_name = f"pooled[{self.pool.workers}]"
+            else:
+                backend = self._backend_for(params_name)
+                # Concurrent-dispatch backends skip the lock: independent
+                # batches may sign at the same time.
+                guard = (contextlib.nullcontext()
+                         if backend.concurrent_dispatch
+                         else self._sign_lock)
+                async with guard:
+                    dispatch_started = loop.time()
+                    result = await loop.run_in_executor(
+                        None, backend.sign_batch, messages, keys)
+                signatures = result.signatures
+                backend_name = result.backend
+            if len(signatures) != len(batch):
                 raise ServiceError(
                     f"backend {self.backend_name!r} returned "
-                    f"{len(result.signatures)} signatures for "
+                    f"{len(signatures)} signatures for "
                     f"{len(batch)} messages"
                 )
         except Exception:
@@ -156,14 +217,14 @@ class SigningService:
             raise  # the batcher forwards this to every future in the batch
         done = loop.time()
         self.telemetry.record_batch(len(batch))
-        for request, signature in zip(batch, result.signatures):
+        for request, signature in zip(batch, signatures):
             wait_ms = (dispatch_started - request.enqueued_at) * 1000.0
             total_ms = (done - request.enqueued_at) * 1000.0
             self.telemetry.record_signed(tenant, total_ms, wait_ms)
             if not request.future.done():
                 request.future.set_result(SignOutcome(
                     signature=signature, tenant=tenant, key_name=key_name,
-                    params=params_name, backend=result.backend,
+                    params=params_name, backend=backend_name,
                     batch_size=len(batch), wait_ms=round(wait_ms, 3),
                     total_ms=round(total_ms, 3),
                 ))
@@ -178,6 +239,7 @@ class SigningService:
                                       + self.batcher.in_flight)
         snapshot["config"] = {
             "backend": self.backend_name,
+            "workers": self.pool.workers if self.pool is not None else 0,
             "target_batch_size": self.batcher.target_batch_size,
             "max_wait_ms": round(self.batcher.max_wait_s * 1000.0, 3),
             "max_pending": self.max_pending,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 __all__ = ["Telemetry", "TenantCounters", "percentile", "render_snapshot"]
 
@@ -60,6 +61,7 @@ class Telemetry:
         self.peak_depth = 0
         self._total_ms: deque[float] = deque(maxlen=latency_window)
         self._wait_ms: deque[float] = deque(maxlen=latency_window)
+        self._pool_provider: Callable[[], dict] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -95,6 +97,14 @@ class Telemetry:
         if depth > self.peak_depth:
             self.peak_depth = depth
 
+    def set_pool_provider(self, provider: Callable[[], dict] | None) -> None:
+        """Attach a worker-pool stats source (e.g.
+        ``ShardedDispatcher.stats``).  When set, every snapshot carries a
+        ``pool`` section with per-worker utilization, queue depth, and
+        requeue/respawn counters — the execution tier's half of the
+        service dashboard."""
+        self._pool_provider = provider
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -112,6 +122,12 @@ class Telemetry:
 
     def snapshot(self) -> dict:
         """A JSON-safe dict of every metric (the ``stats`` verb payload)."""
+        snapshot = self._base_snapshot()
+        if self._pool_provider is not None:
+            snapshot["pool"] = self._pool_provider()
+        return snapshot
+
+    def _base_snapshot(self) -> dict:
         return {
             "tenants": {name: counters.as_dict()
                         for name, counters in sorted(self.tenants.items())},
@@ -164,6 +180,35 @@ def render_snapshot(snapshot: dict, title: str = "Signing service telemetry") ->
                           ("queue wait", latency.get("wait", {})))],
         title="Latency percentiles",
     ))
+
+    pool = snapshot.get("pool")
+    if pool:
+        per_worker = pool.get("per_worker", {})
+        sections.append(format_table(
+            ["worker", "alive", "jobs", "signed", "busy s", "util",
+             "queue", "in-flight", "requeues", "respawns"],
+            [[slot, "yes" if w.get("alive") else "NO", w.get("jobs", 0),
+              w.get("signed", 0), w.get("busy_s", 0.0),
+              f"{100.0 * w.get('utilization', 0.0):.1f}%",
+              w.get("queue_depth", 0), w.get("in_flight", 0),
+              w.get("requeues", 0), w.get("respawns", 0)]
+             for slot, w in sorted(per_worker.items(),
+                                   key=lambda item: int(item[0]))],
+            title=(f"Worker pool ({pool.get('alive', 0)}/"
+                   f"{pool.get('workers', 0)} alive, backend "
+                   f"{pool.get('backend', '?')!r}, "
+                   f"{pool.get('requeues', 0)} requeues, "
+                   f"{pool.get('respawns', 0)} respawns)"),
+        ))
+        routes = pool.get("routes", {})
+        if routes:
+            sections.append(format_table(
+                ["tenant/key", "home worker", "batches", "messages"],
+                [[route, entry.get("slot", "?"), entry.get("batches", 0),
+                  entry.get("messages", 0)]
+                 for route, entry in sorted(routes.items())],
+                title="Shard routing (consistent hash)",
+            ))
 
     queue = snapshot.get("queue", {})
     depth = (f"queue depth: {queue['depth']} now, "

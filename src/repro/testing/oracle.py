@@ -198,7 +198,10 @@ class DifferentialOracle:
         ``(case, message)`` pairs; defaults to :func:`message_corpus`.
     include_scheduler / include_service:
         Also push the corpus through the ``BatchScheduler`` layer (per
-        backend) and the async ``SigningService`` (vectorized).
+        backend) and the async ``SigningService`` (vectorized).  When the
+        ``pooled`` backend is in play, the service pass additionally runs
+        with a ``service_workers``-process worker pool behind the sharded
+        dispatcher, proving the whole multi-core tier byte-identical.
     fault / fault_target:
         Optional :class:`BitFlipFault` installed on *fault_target*'s
         direct-backend pass — the oracle then demonstrates detection.
@@ -211,6 +214,7 @@ class DifferentialOracle:
                  include_scheduler: bool = True,
                  include_service: bool = True,
                  service_backend: str = "vectorized",
+                 service_workers: int = 2,
                  fault: BitFlipFault | None = None,
                  fault_target: str = "scalar"):
         self.params = get_params(params) if isinstance(params, str) else params
@@ -221,6 +225,7 @@ class DifferentialOracle:
         self.include_scheduler = include_scheduler
         self.include_service = include_service
         self.service_backend = service_backend
+        self.service_workers = service_workers
         self.fault = fault
         self.fault_target = fault_target
 
@@ -260,6 +265,13 @@ class DifferentialOracle:
         if self.include_service:
             results.append(asyncio.run(
                 self._run_service(scheme, keys, expected)))
+            if "pooled" in self.backends:
+                # The multi-core execution tier must honor the same
+                # byte-identical contract end to end: async service ->
+                # sharded dispatcher -> worker pool -> inner backend.
+                results.append(asyncio.run(
+                    self._run_service(scheme, keys, expected,
+                                      workers=self.service_workers)))
 
         fault_hop = None
         if self.fault is not None and self.corpus:
@@ -381,10 +393,13 @@ class DifferentialOracle:
         return results
 
     async def _run_service(self, scheme: Sphincs, keys: KeyPair,
-                           expected: dict[str, bytes]) -> PathResult:
+                           expected: dict[str, bytes],
+                           workers: int = 0) -> PathResult:
         from ..service import Keystore, SigningService
 
-        result = PathResult(path=f"service:{self.service_backend}")
+        label = (f"service:pooled[{workers}]" if workers
+                 else f"service:{self.service_backend}")
+        result = PathResult(path=label)
         started = time.perf_counter()
         service = None
         try:
@@ -396,7 +411,7 @@ class DifferentialOracle:
                 keystore, backend=self.service_backend,
                 target_batch_size=max(2, len(self.corpus) // 2),
                 max_wait_s=0.05, max_pending=max(64, 2 * len(self.corpus)),
-                deterministic=True)
+                deterministic=True, workers=workers)
             outcomes = await asyncio.gather(*[
                 service.sign(message, "oracle")
                 for _, message in self.corpus])

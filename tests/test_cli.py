@@ -42,6 +42,23 @@ class TestCli:
         assert "SPHINCS+-128f" in out
         assert "sig/s" in out
 
+    def test_serve_on_worker_pool(self, capsys):
+        assert main(["serve", "--params", "128f", "--backends", "vectorized",
+                     "--workers", "2", "--messages", "4",
+                     "--deterministic", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "pooled" in out
+
+    def test_serve_workers_rejects_backend_list(self, capsys):
+        assert main(["serve", "--backends", "scalar,vectorized",
+                     "--workers", "2", "--messages", "2"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_serve_workers_rejects_nested_pool(self, capsys):
+        assert main(["serve", "--backends", "pooled",
+                     "--workers", "2", "--messages", "2"]) == 2
+        assert "inner backend" in capsys.readouterr().err
+
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
