@@ -22,17 +22,23 @@ What to watch in the output:
   homes on one worker via the consistent-hash ring, and batches for
   different tenants sign concurrently on different cores.
 
+The client side is the unified ``repro.api`` facade: an ``AsyncClient``
+negotiates protocol v2 (``hello`` — see the printed capability line),
+signs the burst with pipelined typed calls, amortizes framing with one
+``sign-many`` frame, and round-trips served ``verify`` — the same four
+methods would work unchanged over ``api.connect("local")`` or
+``api.connect("pooled")``.
+
 Usage: python examples/batch_signing_service.py [messages] [--workers N]
 """
 
 import asyncio
-import sys
 
-from repro.service import (Keystore, LoadGenerator, ServiceClient,
-                           SigningServer, SigningService, bursty_trace,
-                           derive_seed, render_snapshot)
+from repro.api import AsyncClient
+from repro.service import (Keystore, LoadGenerator, SigningServer,
+                           SigningService, bursty_trace, derive_seed,
+                           render_snapshot)
 from repro.params import get_params
-from repro.sphincs.signer import Sphincs
 
 TENANTS = {
     "wallet": "128f",     # latency-sensitive payments traffic
@@ -75,13 +81,18 @@ async def main() -> None:
     await server.start()
     pool_note = (f", {workers}-process worker pool" if workers else "")
     print(f"signing service on 127.0.0.1:{server.port} — "
-          f"tenants {dict(TENANTS)}{pool_note}\n")
-    client = await ServiceClient.connect(port=server.port)
+          f"tenants {dict(TENANTS)}{pool_note}")
+    client = await AsyncClient.connect(port=server.port)
+    info = client.info()
+    print(f"negotiated protocol v{info.protocol_version} with "
+          f"{info.server}: verbs {', '.join(info.verbs)}; "
+          f"max_batch {info.max_batch}\n")
 
     try:
-        # 1. The wallet tenant's bursty stream, over TCP.
-        async def signer(message: bytes) -> dict:
-            return await client.sign(message, "wallet")
+        # 1. The wallet tenant's bursty stream, over TCP — typed calls
+        #    through the facade, pipelined on one socket.
+        async def signer(message: bytes):
+            return await client.sign("wallet", message)
 
         offsets = bursty_trace(count, rate=40.0, burst=4, seed=2)
         generator = LoadGenerator(
@@ -90,19 +101,30 @@ async def main() -> None:
         print(report.table())
         print()
 
-        # 2. One lone firmware request — 128s signing is seconds-slow,
-        #    but the deadline (not the batch target) controls its wait.
-        outcome = await service.sign(b"firmware image digest", "firmware",
-                                     deadline_ms=40.0)
-        keys, params = service.keystore.resolve("firmware")
-        verified = Sphincs(params).verify(b"firmware image digest",
-                                          outcome.signature, keys.public)
-        print(f"firmware/{params}: batch of {outcome.batch_size}, "
-              f"waited {outcome.wait_ms:.0f} ms in queue, "
-              f"{len(outcome.signature):,} B signature, "
-              f"verified={verified}\n")
+        # 2. A settlement batch in one sign-many frame: base64/framing
+        #    overhead amortized across the whole batch server-side.
+        settlements = [f"settlement #{i}".encode() for i in range(4)]
+        results = await client.sign_many("wallet", settlements)
+        print(f"sign-many: {len(results)} settlement signatures in one "
+              f"frame (batch sizes {[r.batch_size for r in results]})")
 
-        # 3. The server's own view, as the stats verb reports it.
+        # 3. One lone firmware request — 128s signing is seconds-slow,
+        #    but the deadline (not the batch target) controls its wait —
+        #    then served verification over the same connection: the v2
+        #    verb the old protocol never offered.
+        firmware = await client.sign("firmware", b"firmware image digest",
+                                     deadline_ms=40.0)
+        verdict = await client.verify("firmware", b"firmware image digest",
+                                      firmware.signature)
+        tampered = await client.verify("firmware", b"firmware image DIGEST",
+                                       firmware.signature)
+        print(f"firmware/{firmware.params}: batch of "
+              f"{firmware.batch_size}, waited {firmware.wait_ms:.0f} ms "
+              f"in queue, {len(firmware.signature):,} B signature, "
+              f"served verify={verdict.valid} "
+              f"(tampered={tampered.valid})\n")
+
+        # 4. The server's own view, as the stats verb reports it.
         print(render_snapshot(await client.stats(),
                               title="Server telemetry (stats verb)"))
     finally:

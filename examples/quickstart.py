@@ -3,18 +3,34 @@
 
 Runs real SPHINCS+-128f cryptography (pure Python, SHA-256 simple
 instantiation): key generation, signing, verification, tamper detection —
-then prints what the GPU model predicts HERO-Sign would do with the same
-workload on an RTX 4090.
+then the same round trip through the unified client API (``repro.api``,
+the facade every execution tier sits behind), and finally what the GPU
+model predicts HERO-Sign would do with the same workload on an RTX 4090.
 
 Usage: python examples/quickstart.py
 """
 
 import time
 
-from repro import Sphincs
+from repro import Sphincs, api
 from repro.core.batch import run_batch
 from repro.gpusim.device import get_device
 from repro.params import get_params
+
+
+def client_api_demo() -> None:
+    # The same sign/verify, one abstraction up: a typed client over the
+    # batch runtime.  Swap "local" for "pooled" (multi-core) or "tcp"
+    # (a remote `repro serve-async` service) and nothing else changes.
+    with api.connect("local") as client:
+        client.add_tenant("quickstart", "128f")
+        batch = [f"payment #{i}".encode() for i in range(4)]
+        results = client.sign_many("quickstart", batch)
+        verdict = client.verify("quickstart", batch[0],
+                                results[0].signature)
+        print(f"signed a batch of {results[0].batch_size} on "
+              f"{results[0].backend} via {results[0].transport!r} "
+              f"({results[0].total_ms:.0f} ms), verify -> {verdict.valid}")
 
 
 def main() -> None:
@@ -41,6 +57,9 @@ def main() -> None:
     tampered[100] ^= 1
     rejected = not scheme.verify(message, bytes(tampered), keys.public)
     print(f"tampered signature rejected: {rejected}")
+
+    print("\n=== Same round trip through the unified client API ===")
+    client_api_demo()
 
     print("\n=== Same workload on the modeled RTX 4090 (HERO-Sign) ===")
     device = get_device("RTX 4090")

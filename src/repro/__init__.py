@@ -52,11 +52,12 @@ from .errors import (
 
 
 def __getattr__(name: str):
-    # Lazy: the runtime pulls in the scheduler/backends only when asked for.
-    if name == "runtime":
+    # Lazy: the runtime (scheduler/backends) and the client API facade
+    # pull in their layers only when asked for.
+    if name in ("runtime", "api"):
         import importlib
 
-        return importlib.import_module(".runtime", __name__)
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
@@ -75,6 +76,7 @@ __all__ = [
     "AddressError",
     "BackendError",
     "runtime",
+    "api",
     "SignatureFormatError",
     "GpuModelError",
     "LaunchConfigError",

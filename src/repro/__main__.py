@@ -3,7 +3,11 @@
 Commands
 --------
 sign / verify
-    Exercise the functional SPHINCS+ layer on real files.
+    Sign and verify real files/messages through the unified client API
+    (``repro.api``): ``--transport local`` signs in-process,
+    ``--transport pooled`` fans out across a worker pool, and
+    ``--transport tcp`` drives a remote ``serve-async`` service over
+    protocol v2 — same flags, same output, any tier.
 serve
     Drive the batch-signing runtime end-to-end: queue messages through
     the BatchScheduler, sign them on the selected backends, and report
@@ -35,28 +39,129 @@ import argparse
 import sys
 
 
-def _cmd_sign(args: argparse.Namespace) -> int:
-    from .sphincs.signer import Sphincs
+def _parse_hostport(spec: str) -> tuple[str, int] | None:
+    """``HOST:PORT`` -> (host, port); None when malformed."""
+    host, sep, port = spec.rpartition(":")
+    host = host.strip("[]") or "127.0.0.1"  # [::1]:7744 -> ::1
+    if not sep or not port.isdigit():
+        return None
+    return host, int(port)
 
-    scheme = Sphincs(args.params, deterministic=args.deterministic)
-    seed = bytes(3 * scheme.params.n) if args.deterministic else None
-    keys = scheme.keygen(seed=seed)
+
+def _make_api_client(args: argparse.Namespace, command: str):
+    """Open the repro.api client a sign/verify subcommand drives.
+
+    Returns ``(client, exit_code)``; a non-None exit code means the
+    arguments were unusable and the caller should return it.
+    """
+    from . import api
+
+    if args.transport == "tcp":
+        ignored = [flag for flag, is_set in (
+            ("--deterministic", args.deterministic),
+            ("--keystore", bool(args.keystore)),
+            ("--params", args.params != "128f"),
+        ) if is_set]
+        if ignored:
+            print(f"{command}: note — ignoring {', '.join(ignored)} "
+                  "with --transport tcp: keys, parameter set, and signing "
+                  "mode belong to the server's tenant", file=sys.stderr)
+        target = _parse_hostport(args.connect or "127.0.0.1:7744")
+        if target is None:
+            print(f"{command}: --connect wants HOST:PORT, got "
+                  f"{args.connect!r}", file=sys.stderr)
+            return None, 2
+        try:
+            return api.connect("tcp", host=target[0], port=target[1]), None
+        except (ConnectionError, OSError, api.ServiceError) as exc:
+            print(f"{command}: cannot reach {target[0]}:{target[1]} — "
+                  f"{exc}", file=sys.stderr)
+            return None, 2
+    from .service import Keystore
+
+    try:
+        keystore = Keystore(root=args.keystore) if args.keystore else None
+        options = {"keystore": keystore,
+                   "deterministic": args.deterministic}
+        if args.transport == "pooled":
+            options["workers"] = args.workers
+        client = api.connect(args.transport, **options)
+        # Local tiers own their keys: ensure the tenant exists
+        # (deterministic runs derive the key from "<tenant>/<key>",
+        # matching the service CLI).
+        client.add_tenant(args.tenant, args.params, key=args.key)
+    except api.ServiceError as exc:
+        # e.g. a --keystore tenant pinned to a different --params, or a
+        # quarantined corrupt tenant file.
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+    return client, None
+
+
+def _read_message(args: argparse.Namespace) -> bytes:
     if args.file:
         with open(args.file, "rb") as handle:
-            message = handle.read()
-    else:
-        message = args.message.encode()
-    signature = scheme.sign(message, keys)
-    print(f"parameter set : {scheme.params.name}")
-    print(f"message bytes : {len(message)}")
-    print(f"signature     : {len(signature)} bytes")
-    print(f"public key    : {keys.public.hex()}")
-    print(f"self-verify   : {scheme.verify(message, signature, keys.public)}")
-    if args.out:
-        with open(args.out, "wb") as handle:
-            handle.write(signature)
-        print(f"wrote {args.out}")
+            return handle.read()
+    return args.message.encode()
+
+
+def _cmd_sign(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client, exit_code = _make_api_client(args, "sign")
+    if client is None:
+        return exit_code
+    try:
+        with client:
+            message = _read_message(args)
+            result = client.sign(args.tenant, message, key=args.key)
+            verdict = client.verify(args.tenant, message, result.signature,
+                                    key=args.key)
+            print(f"parameter set : {result.params}")
+            print(f"transport     : {result.transport} "
+                  f"(backend {result.backend})")
+            print(f"tenant / key  : {result.tenant} / {result.key}")
+            print(f"message bytes : {len(message)}")
+            print(f"signature     : {len(result.signature)} bytes")
+            if hasattr(client, "keystore"):
+                # Local tiers: without this, an ephemeral key's signature
+                # could never be verified out-of-band.
+                keys, _ = client.keystore.resolve(args.tenant, args.key)
+                print(f"public key    : {keys.public.hex()}")
+            print(f"self-verify   : {verdict.valid}")
+            if args.out:
+                with open(args.out, "wb") as handle:
+                    handle.write(result.signature)
+                print(f"wrote {args.out}")
+    except (ServiceError, OSError) as exc:
+        print(f"sign: {exc}", file=sys.stderr)
+        return 2
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .errors import ServiceError
+
+    client, exit_code = _make_api_client(args, "verify")
+    if client is None:
+        return exit_code
+    try:
+        with client:
+            message = _read_message(args)
+            with open(args.sig, "rb") as handle:
+                signature = handle.read()
+            verdict = client.verify(args.tenant, message, signature,
+                                    key=args.key)
+            print(f"parameter set : {verdict.params}")
+            print(f"transport     : {verdict.transport}")
+            print(f"tenant / key  : {verdict.tenant} / {verdict.key}")
+            print(f"message bytes : {len(message)}")
+            print(f"signature     : {len(signature)} bytes")
+            print(f"valid         : {verdict.valid}")
+    except (ServiceError, OSError) as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return 2
+    return 0 if verdict.valid else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -195,8 +300,9 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         print(f"  batch size    : {config['target_batch_size']}, "
               f"max wait {config['max_wait_ms']} ms, "
               f"shed above {config['max_pending']} queued")
-        print("  protocol      : one JSON object per line "
-              "(ops: sign, stats, ping); Ctrl-C to stop")
+        print("  protocol      : v2 (hello negotiation; verbs: sign, "
+              "sign-many, verify, keys, stats, ping); v1 clients served "
+              "unchanged; Ctrl-C to stop")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -214,9 +320,18 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .service import (LoadGenerator, ServiceClient, SigningServer,
-                          make_trace, render_snapshot)
+    from .api import AsyncClient
+    from .service import (LoadGenerator, SigningServer, make_trace,
+                          render_snapshot)
 
+    host = port = None
+    if args.connect:
+        target = _parse_hostport(args.connect)
+        if target is None:
+            print(f"loadtest: --connect wants HOST:PORT, got "
+                  f"{args.connect!r}", file=sys.stderr)
+            return 2
+        host, port = target
     if args.messages < 1:
         print("loadtest: --messages must be >= 1", file=sys.stderr)
         return 2
@@ -226,26 +341,19 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     tenant = tenants[0][0]
-    if args.connect:
-        host, sep, port = args.connect.rpartition(":")
-        host = host.strip("[]") or "127.0.0.1"  # [::1]:7744 -> ::1
-        if not sep or not port.isdigit():
-            print(f"loadtest: --connect wants HOST:PORT, got "
-                  f"{args.connect!r}", file=sys.stderr)
-            return 2
 
     async def run() -> int:
         server = None
         if args.connect:
-            client = await ServiceClient.connect(host, int(port))
+            client = await AsyncClient.connect(host, port)
         else:
             server = SigningServer(_build_service(args), port=0)
             await server.start()
             print(f"self-hosted signing service on 127.0.0.1:{server.port}")
-            client = await ServiceClient.connect(port=server.port)
+            client = await AsyncClient.connect(port=server.port)
 
-        async def signer(message: bytes) -> dict:
-            return await client.sign(message, tenant,
+        async def signer(message: bytes):
+            return await client.sign(tenant, message,
                                      deadline_ms=args.deadline_ms)
 
         try:
@@ -400,13 +508,39 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sign = sub.add_parser("sign", help="sign a message/file (functional layer)")
-    p_sign.add_argument("--params", default="128f")
-    p_sign.add_argument("--message", default="hello post-quantum world")
-    p_sign.add_argument("--file", default=None)
+    def _add_transport_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--transport", default="local",
+                       choices=("local", "pooled", "tcp"),
+                       help="execution tier behind the repro.api facade")
+        p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="target service for --transport tcp "
+                            "(default 127.0.0.1:7744)")
+        p.add_argument("--workers", type=int, default=2,
+                       help="worker-pool size for --transport pooled")
+        p.add_argument("--tenant", default="cli",
+                       help="tenant name (local tiers auto-provision it)")
+        p.add_argument("--key", default="default", help="named tenant key")
+        p.add_argument("--keystore", default=None,
+                       help="keystore directory for local tiers "
+                            "(default: ephemeral in-memory keys)")
+        p.add_argument("--params", default="128f")
+        p.add_argument("--message", default="hello post-quantum world")
+        p.add_argument("--file", default=None)
+        p.add_argument("--deterministic", action="store_true")
+
+    p_sign = sub.add_parser(
+        "sign", help="sign a message/file through the unified client API")
+    _add_transport_args(p_sign)
     p_sign.add_argument("--out", default=None)
-    p_sign.add_argument("--deterministic", action="store_true")
     p_sign.set_defaults(func=_cmd_sign)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="verify a signature through the unified client API")
+    _add_transport_args(p_verify)
+    p_verify.add_argument("--sig", required=True,
+                          help="signature file to check")
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_serve = sub.add_parser(
         "serve", help="run the batch-signing runtime end-to-end")

@@ -1,0 +1,303 @@
+"""The TCP transports: protocol-v2 clients over the wire protocol.
+
+:class:`AsyncClient` is the asyncio-native typed client: it wraps the
+wire-level :class:`~repro.service.client.ServiceClient` (pipelined
+frames, id matching), performs the ``hello`` version/capability
+negotiation at connect time, chunks ``sign_many`` into ``max_batch``
+frames, and returns the same typed results as every other transport.
+
+:class:`TcpClient` is the synchronous facade for non-async callers: it
+runs an :class:`AsyncClient` on a dedicated background event loop thread
+and bridges each call with ``run_coroutine_threadsafe`` — so
+``client.sign(...)`` blocks exactly like the local transport while the
+socket stays pipelined underneath.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Sequence
+
+from ..errors import ServiceError, UnsupportedVersionError
+from ..service import protocol
+from ..service.client import ServiceClient
+from .base import SigningClient
+from .model import (ServiceInfo, SignRequest, SignResult, VerifyRequest,
+                    VerifyResult)
+
+__all__ = ["AsyncClient", "TcpClient"]
+
+
+def _sign_result(response: dict, request: SignRequest,
+                 signature: bytes | None = None) -> SignResult:
+    return SignResult(
+        signature=(signature if signature is not None
+                   else protocol.unpack_bytes(response["signature"],
+                                              name="signature")),
+        tenant=request.tenant, key=request.key,
+        params=response["params"], backend=response["backend"],
+        batch_size=response["batch_size"],
+        wait_ms=response["wait_ms"], total_ms=response["total_ms"],
+        transport="tcp",
+    )
+
+
+class AsyncClient:
+    """Typed asyncio client over protocol v2.
+
+    Construct with :meth:`connect`, which negotiates the protocol
+    version; the server's downgrade offer is rejected with
+    :class:`UnsupportedVersionError` when it falls below *min_version*.
+    The negotiated capabilities are available as :meth:`info` without a
+    round trip.
+    """
+
+    transport = "tcp"
+
+    def __init__(self, wire: ServiceClient, info: ServiceInfo):
+        self._wire = wire
+        self._info = info
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7744,
+                      version: int = protocol.PROTOCOL_VERSION,
+                      min_version: int = 2) -> "AsyncClient":
+        wire = await ServiceClient.open(host, port)
+        try:
+            hello = await wire.request({"op": "hello", "version": version})
+        except ServiceError as exc:
+            await wire.close()
+            if isinstance(exc, UnsupportedVersionError):
+                raise
+            raise UnsupportedVersionError(
+                f"server at {host}:{port} did not answer the hello "
+                f"handshake ({exc}); it may be a pre-v2 build — the "
+                "wire-level repro.service.ServiceClient still speaks v1"
+            ) from exc
+        negotiated = hello.get("version")
+        if not isinstance(negotiated, int) or negotiated < min_version:
+            await wire.close()
+            raise UnsupportedVersionError(
+                f"server offered protocol v{negotiated}, below the "
+                f"required minimum v{min_version}"
+            )
+        info = ServiceInfo(
+            transport=cls.transport,
+            server=hello.get("server", "unknown"),
+            protocol_version=negotiated,
+            verbs=tuple(hello.get("verbs", ())),
+            backend=hello.get("backend", "unknown"),
+            workers=hello.get("workers", 0),
+            max_batch=hello.get("max_batch"),
+            parameter_sets=tuple(hello.get("parameter_sets", ())),
+        )
+        return cls(wire, info)
+
+    # ------------------------------------------------------------------
+    # Typed API (mirrors the sync SigningClient surface)
+    # ------------------------------------------------------------------
+    async def sign(self, tenant: str, message: bytes, key: str = "default",
+                   deadline_ms: float | None = None) -> SignResult:
+        return await self._sign(SignRequest(tenant=tenant, message=message,
+                                            key=key,
+                                            deadline_ms=deadline_ms))
+
+    async def sign_many(self, tenant: str, messages: Sequence[bytes],
+                        key: str = "default",
+                        deadline_ms: float | None = None
+                        ) -> list[SignResult]:
+        requests = [SignRequest(tenant=tenant, message=message, key=key,
+                                deadline_ms=deadline_ms)
+                    for message in messages]
+        return await self._sign_many(requests) if requests else []
+
+    async def verify(self, tenant: str, message: bytes, signature: bytes,
+                     key: str = "default") -> VerifyResult:
+        return await self._verify(VerifyRequest(
+            tenant=tenant, message=message, signature=signature, key=key))
+
+    def info(self) -> ServiceInfo:
+        """The capabilities negotiated at connect time."""
+        return self._info
+
+    async def keys(self, tenant: str) -> tuple[str, ...]:
+        response = await self._wire.request({"op": "keys",
+                                             "tenant": tenant})
+        return tuple(response["keys"])
+
+    async def ping(self) -> bool:
+        return (await self._wire.request({"op": "ping"}))["ok"] is True
+
+    async def stats(self) -> dict:
+        return (await self._wire.request({"op": "stats"}))["stats"]
+
+    async def close(self) -> None:
+        await self._wire.close()
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Transport primitives (request-object level, shared with TcpClient)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_frame_fit(message: bytes, extra: int = 0) -> None:
+        """Reject payloads whose frame would overflow the server's line
+        limit *before* writing — an oversized line is answered with an
+        unmatchable error and costs the whole connection.  ``extra``
+        counts other raw binary riding the same frame (a verify frame
+        carries the signature next to the message)."""
+        if len(message) + extra > protocol.MAX_MESSAGE_BYTES:
+            from ..errors import ProtocolError
+
+            raise ProtocolError(
+                f"message of {len(message)} bytes exceeds the wire "
+                f"frame bound ({protocol.MAX_MESSAGE_BYTES - extra} "
+                "bytes for this verb); sign a digest instead, or use "
+                "the local transport"
+            )
+
+    async def _sign(self, request: SignRequest) -> SignResult:
+        self._check_frame_fit(request.message)
+        payload = {"op": "sign", "tenant": request.tenant,
+                   "key": request.key,
+                   "message": protocol.pack_bytes(request.message)}
+        if request.deadline_ms is not None:
+            payload["deadline_ms"] = request.deadline_ms
+        return _sign_result(await self._wire.request(payload), request)
+
+    async def _sign_many(self, requests: Sequence[SignRequest]
+                         ) -> list[SignResult]:
+        # Chunk greedily by both the server's max_batch and the frame's
+        # byte budget (many large messages must not overflow one line);
+        # frames pipeline on one socket, so chunking costs latency only
+        # when the server is the bottleneck.
+        for request in requests:
+            self._check_frame_fit(request.message)
+        limit = self._info.max_batch or len(requests)
+        budget = protocol.MAX_MESSAGE_BYTES
+        chunks: list[list[SignRequest]] = [[]]
+        chunk_bytes = 0
+        for request in requests:
+            size = len(request.message)
+            if chunks[-1] and (len(chunks[-1]) >= limit
+                               or chunk_bytes + size > budget):
+                chunks.append([])
+                chunk_bytes = 0
+            chunks[-1].append(request)
+            chunk_bytes += size
+        responses = await asyncio.gather(*(
+            self._wire.request({
+                "op": "sign-many",
+                "tenant": chunk[0].tenant, "key": chunk[0].key,
+                "messages": [protocol.pack_bytes(request.message)
+                             for request in chunk],
+                **({"deadline_ms": chunk[0].deadline_ms}
+                   if chunk[0].deadline_ms is not None else {}),
+            }) for chunk in chunks))
+        results: list[SignResult] = []
+        for chunk, response in zip(chunks, responses):
+            for request, item in zip(chunk, response["results"]):
+                if not item.get("ok"):
+                    raise protocol.error_type(item.get("error"))(
+                        item.get("detail", "sign-many item failed"))
+                results.append(_sign_result(item, request))
+        return results
+
+    async def _verify(self, request: VerifyRequest) -> VerifyResult:
+        self._check_frame_fit(request.message,
+                              extra=len(request.signature))
+        response = await self._wire.request({
+            "op": "verify", "tenant": request.tenant, "key": request.key,
+            "message": protocol.pack_bytes(request.message),
+            "signature": protocol.pack_bytes(request.signature),
+        })
+        return VerifyResult(valid=response["valid"], tenant=request.tenant,
+                            key=request.key, params=response["params"],
+                            transport=self.transport)
+
+
+class TcpClient(SigningClient):
+    """Synchronous typed client over TCP.
+
+    Owns a daemon thread running a private event loop that hosts an
+    :class:`AsyncClient`; every call bridges onto it and blocks for the
+    result.  ``timeout`` bounds each bridged call (None = wait forever —
+    the -s parameter sets sign in seconds, not milliseconds).
+    """
+
+    transport = "tcp"
+
+    def __init__(self, client: AsyncClient, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread, timeout: float | None = 600.0):
+        self._client = client
+        self._loop = loop
+        self._thread = thread
+        self.timeout = timeout
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str = "127.0.0.1", port: int = 7744,
+                version: int = protocol.PROTOCOL_VERSION,
+                min_version: int = 2,
+                timeout: float | None = 600.0) -> "TcpClient":
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever,
+                                  name="repro-api-tcp", daemon=True)
+        thread.start()
+        try:
+            client = asyncio.run_coroutine_threadsafe(
+                AsyncClient.connect(host, port, version=version,
+                                    min_version=min_version),
+                loop).result(timeout)
+        except BaseException:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join()
+            loop.close()
+            raise
+        return cls(client, loop, thread, timeout=timeout)
+
+    def _call(self, coroutine):
+        if self._closed:
+            coroutine.close()  # never scheduled; silence the RuntimeWarning
+            raise ServiceError("client closed; reconnect to continue")
+        return asyncio.run_coroutine_threadsafe(
+            coroutine, self._loop).result(self.timeout)
+
+    # ------------------------------------------------------------------
+    def _sign(self, request: SignRequest) -> SignResult:
+        return self._call(self._client._sign(request))
+
+    def _sign_many(self,
+                   requests: Sequence[SignRequest]) -> list[SignResult]:
+        return self._call(self._client._sign_many(requests))
+
+    def _verify(self, request: VerifyRequest) -> VerifyResult:
+        return self._call(self._client._verify(request))
+
+    def info(self) -> ServiceInfo:
+        return self._client.info()
+
+    def keys(self, tenant: str) -> tuple[str, ...]:
+        return self._call(self._client.keys(tenant))
+
+    def ping(self) -> bool:
+        return self._call(self._client.ping())
+
+    def stats(self) -> dict:
+        return self._call(self._client.stats())
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._call(self._client.close())
+        finally:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+            self._loop.close()

@@ -71,6 +71,32 @@ class ProtocolError(ServiceError, ValueError):
     """A malformed wire message on the newline-delimited JSON protocol."""
 
 
+class UnknownVerbError(ProtocolError):
+    """A request named a verb the negotiated protocol version does not
+    serve — either a typo or a v2-only verb on a v1 connection."""
+
+
+class UnsupportedVersionError(ProtocolError):
+    """Version negotiation failed: the peer cannot speak a protocol
+    version this side requires (the server offers its best downgrade in
+    the ``hello`` response; a client raises this when that offer is below
+    its minimum)."""
+
+
+class ConnectionLostError(ServiceError, ConnectionError):
+    """The transport dropped with requests still in flight.
+
+    ``in_flight`` carries the wire ids of every request that was sent but
+    never answered, so a caller can reconnect and decide per request
+    whether to resubmit (signing is not idempotent: a resubmitted request
+    may be signed twice under a randomized scheme).
+    """
+
+    def __init__(self, message: str, in_flight: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.in_flight = tuple(in_flight)
+
+
 class GpuModelError(ReproError):
     """Base class for GPU-simulator configuration/usage errors."""
 

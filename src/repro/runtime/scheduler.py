@@ -88,6 +88,12 @@ class BatchScheduler:
     on_dispatch:
         Hook called with each batch's :class:`BatchStats` right after
         dispatch — the attachment point for service telemetry.
+    keys_provider:
+        Optional ``(canonical params name) -> KeyPair`` hook consulted
+        before the scheduler generates its own key pair — how the
+        ``repro.api`` local transport signs under *keystore* keys
+        (tenant-owned, persisted) instead of scheduler-generated ones.
+        Resolved once per parameter set, then cached like generated keys.
     clock:
         Monotonic time source for queue-age accounting (injectable for
         deterministic tests).
@@ -107,6 +113,7 @@ class BatchScheduler:
                  max_wait_s: float | None = None,
                  max_retained: int | None = None,
                  on_dispatch: Callable[[BatchStats], None] | None = None,
+                 keys_provider: Callable[[str], KeyPair] | None = None,
                  clock: Callable[[], float] = time.monotonic):
         if target_batch_size < 1:
             raise BackendError(
@@ -127,6 +134,7 @@ class BatchScheduler:
         self.max_wait_s = max_wait_s
         self.max_retained = max_retained
         self.on_dispatch = on_dispatch
+        self.keys_provider = keys_provider
         self.clock = clock
         self.evicted = 0
         self.batches: list[BatchStats] = []
@@ -170,8 +178,13 @@ class BatchScheduler:
         name = get_params(params).name
         keys = self._keys.get(name)
         if keys is None:
-            seed = bytes(3 * get_params(name).n) if self.deterministic else None
-            keys = self.backend_for(name, self.default_backend).keygen(seed=seed)
+            if self.keys_provider is not None:
+                keys = self.keys_provider(name)
+            else:
+                seed = (bytes(3 * get_params(name).n)
+                        if self.deterministic else None)
+                keys = self.backend_for(name, self.default_backend).keygen(
+                    seed=seed)
             self._keys[name] = keys
         return keys
 

@@ -31,8 +31,14 @@ Module map
     :class:`ServiceClient` — pipelined async TCP client; many in-flight
     requests per connection, matched by request id.
 :mod:`.protocol`
-    The wire format: one JSON object per line; ``sign`` / ``stats`` /
-    ``ping`` verbs; base64 binary fields; error codes.
+    The wire format: one JSON object per line; base64 binary fields;
+    stable error codes; version constants (v1: ``sign`` / ``stats`` /
+    ``ping``; v2 adds ``hello`` negotiation, ``verify``, ``sign-many``,
+    ``keys``).
+:mod:`.verbs`
+    The verb registry the server dispatches through: one table of
+    schema-validated, version-gated handlers (adding a verb is one
+    ``Verb(...)`` row, not another if/elif branch).
 :mod:`.telemetry`
     Per-tenant counters, queue-depth peaks, batch-size histogram,
     p50/p95/p99 latency — as a JSON snapshot (the ``stats`` verb) and a
@@ -44,11 +50,13 @@ Module map
 
 CLI entry points: ``python -m repro serve-async`` runs a server;
 ``python -m repro loadtest`` drives one (self-hosting it if no
-``--connect`` target is given).
+``--connect`` target is given).  Client code should prefer the typed
+facade in :mod:`repro.api` over the wire-level :class:`ServiceClient`.
 """
 
-from ..errors import (KeystoreError, OverloadedError, ProtocolError,
-                      ServiceError)
+from ..errors import (ConnectionLostError, KeystoreError, OverloadedError,
+                      ProtocolError, ServiceError, UnknownVerbError,
+                      UnsupportedVersionError)
 from .batcher import DeadlineBatcher, PendingSign
 from .client import ServiceClient
 from .dispatch import DispatchOutcome, ShardedDispatcher
@@ -57,8 +65,13 @@ from .loadgen import (TRACES, LoadGenerator, LoadReport, bursty_trace,
                       make_trace, poisson_trace, ramp_trace)
 from .server import SigningServer, SigningService, SignOutcome
 from .telemetry import Telemetry, percentile, render_snapshot
+from .verbs import ConnectionState, FieldSpec, Verb, VerbRegistry, \
+    default_registry
 
 __all__ = [
+    "ConnectionState", "FieldSpec", "Verb", "VerbRegistry",
+    "default_registry",
+    "UnknownVerbError", "UnsupportedVersionError", "ConnectionLostError",
     "DeadlineBatcher", "PendingSign",
     "ShardedDispatcher", "DispatchOutcome",
     "Keystore", "TenantRecord", "derive_seed",

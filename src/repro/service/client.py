@@ -1,27 +1,28 @@
-"""Async TCP client for the signing service protocol.
+"""Async TCP client for the signing service wire protocol.
 
 One connection, many in-flight requests: every request carries an ``id``
 and a background reader task matches responses back to their futures, so
 callers can pipeline ``sign`` calls concurrently over a single socket —
 exactly how the load generator drives the service.
+
+This is the *wire-level* client (it speaks raw protocol frames and
+returns response dicts).  Application code should prefer the typed
+facade in :mod:`repro.api` — ``AsyncClient`` for asyncio callers,
+``TcpClient`` for synchronous ones — which negotiates protocol v2 and
+returns :class:`~repro.api.SignResult` / :class:`~repro.api.VerifyResult`
+objects; :meth:`ServiceClient.connect` is deprecated in its favor.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import warnings
 
-from ..errors import (KeystoreError, OverloadedError, ProtocolError,
-                      ServiceError)
+from ..errors import ConnectionLostError, ServiceError
 from . import protocol
 
 __all__ = ["ServiceClient"]
-
-_ERROR_TYPES = {
-    protocol.ERROR_OVERLOADED: OverloadedError,
-    protocol.ERROR_UNKNOWN_KEY: KeystoreError,
-    protocol.ERROR_PROTOCOL: ProtocolError,
-}
 
 
 class ServiceClient:
@@ -39,6 +40,19 @@ class ServiceClient:
     @classmethod
     async def connect(cls, host: str = "127.0.0.1",
                       port: int = 7744) -> "ServiceClient":
+        warnings.warn(
+            "ServiceClient.connect is deprecated; use the typed facade "
+            "instead — repro.api.AsyncClient.connect(host, port) for "
+            "asyncio callers, or repro.api.connect('tcp', host=..., "
+            "port=...) for synchronous ones",
+            DeprecationWarning, stacklevel=2)
+        return await cls.open(host, port)
+
+    @classmethod
+    async def open(cls, host: str = "127.0.0.1",
+                   port: int = 7744) -> "ServiceClient":
+        """Open a wire-level connection (no deprecation: the repro.api
+        transports build on this)."""
         reader, writer = await asyncio.open_connection(
             host, port, limit=protocol.LINE_LIMIT)
         return cls(reader, writer)
@@ -91,7 +105,8 @@ class ServiceClient:
             # The reader has exited (server closed the socket): a future
             # registered now could never be resolved, and a write into
             # the half-closed socket would not even error.
-            raise ServiceError("connection closed; reconnect to continue")
+            raise ConnectionLostError(
+                "connection closed; reconnect to continue")
         request_id = next(self._ids)
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
@@ -103,15 +118,18 @@ class ServiceClient:
         finally:
             self._pending.pop(request_id, None)
         if not response.get("ok"):
-            error_type = _ERROR_TYPES.get(response.get("error"),
-                                          ServiceError)
+            error_type = protocol.error_type(response.get("error"))
             raise error_type(response.get("detail",
                                           "service reported an error"))
         return response
 
     # ------------------------------------------------------------------
     async def _read_loop(self) -> None:
-        error: Exception = ServiceError("connection closed by server")
+        # The transport dropping mid-pipeline (server restart, reset,
+        # half-read line) is a *typed* failure: every in-flight future
+        # fails with one ConnectionLostError naming the unanswered ids,
+        # never a bare ConnectionResetError/IncompleteReadError.
+        error: Exception = ConnectionLostError("connection closed by server")
         try:
             while True:
                 line = await self._reader.readline()
@@ -124,12 +142,20 @@ class ServiceClient:
         except asyncio.CancelledError:
             error = ServiceError("client closed")
             raise
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError, OSError) as exc:
+            error = ConnectionLostError(f"connection lost: {exc}")
         except Exception as exc:  # noqa: BLE001 — surfaced via futures
             error = ServiceError(f"connection error: {exc}")
         finally:
             self._fail_pending(error)
 
     def _fail_pending(self, error: Exception) -> None:
+        if isinstance(error, ConnectionLostError) and self._pending:
+            in_flight = tuple(sorted(self._pending))
+            error = ConnectionLostError(
+                f"{error} ({len(in_flight)} requests in flight: "
+                f"ids {list(in_flight)})", in_flight=in_flight)
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(error)

@@ -1,29 +1,54 @@
 """The wire protocol: one JSON object per line, UTF-8, ``\\n``-terminated.
 
-Requests carry an ``op`` (``sign`` / ``stats`` / ``ping``) and an optional
-``id`` the server echoes back, so a client may pipeline many requests on
-one connection and match responses out of order.  Binary fields (message
-payloads, signatures) travel base64-encoded.
+Requests carry an ``op`` (the *verb*) and an optional ``id`` the server
+echoes back, so a client may pipeline many requests on one connection and
+match responses out of order.  Binary fields (message payloads,
+signatures) travel base64-encoded.
+
+Versions
+--------
+* **v1** (no handshake): verbs ``sign`` / ``stats`` / ``ping``.  Every
+  connection starts at v1, so a v1 client needs no shim — it simply
+  never sends ``hello`` and is served the v1 verb set unchanged.
+* **v2**: the client opens with a ``hello`` carrying the version it
+  wants; the server answers with the negotiated version and its
+  capabilities (served verbs, ``max_batch`` for ``sign-many`` frames,
+  the tenants' parameter sets).  v2 adds ``verify``, ``sign-many``
+  (multi-message frames that amortize base64/framing overhead), and
+  ``keys`` (list a tenant's named keys).
 
 Request shapes::
 
+    {"op": "hello", "id": 0, "version": 2}
     {"op": "ping", "id": 1}
     {"op": "stats", "id": 2}
     {"op": "sign", "id": 3, "tenant": "acme", "key": "default",
      "message": "<base64>", "deadline_ms": 100}
+    {"op": "verify", "id": 4, "tenant": "acme", "key": "default",
+     "message": "<base64>", "signature": "<base64>"}
+    {"op": "sign-many", "id": 5, "tenant": "acme", "key": "default",
+     "messages": ["<base64>", "<base64>"], "deadline_ms": 100}
+    {"op": "keys", "id": 6, "tenant": "acme"}
 
 Responses always carry ``ok``.  Success::
 
+    {"ok": true, "op": "hello", "id": 0, "version": 2,
+     "server": "repro/1.0.0", "verbs": ["hello", "keys", ...],
+     "max_batch": 12, "parameter_sets": ["SPHINCS+-128f"]}
     {"ok": true, "op": "sign", "id": 3, "signature": "<base64>",
      "params": "SPHINCS+-128f", "backend": "vectorized",
      "batch_size": 4, "wait_ms": 12.5, "total_ms": 96.1}
+    {"ok": true, "op": "verify", "id": 4, "valid": true,
+     "params": "SPHINCS+-128f"}
 
 Failure (``error`` is a stable machine-readable code)::
 
     {"ok": false, "id": 3, "error": "overloaded", "detail": "..."}
 
-Signatures reach ~50 KB (~67 KB base64), beyond asyncio's 64 KB default
-stream limit — both ends must read with :data:`LINE_LIMIT`.
+A ``hello`` asking for a version the server does not speak is answered
+with a *downgrade offer* — ``ok: true`` and the highest version the
+server supports — never a hang or a bare close; the client decides
+whether to proceed or raise ``UnsupportedVersionError``.
 """
 
 from __future__ import annotations
@@ -32,19 +57,74 @@ import base64
 import binascii
 import json
 
-from ..errors import ProtocolError
+from ..errors import (ConnectionLostError, KeystoreError, OverloadedError,
+                      ProtocolError, ServiceError, UnknownVerbError,
+                      UnsupportedVersionError)
+from ..params import PARAMETER_SETS
 
-__all__ = ["LINE_LIMIT", "encode", "decode", "pack_bytes", "unpack_bytes"]
+__all__ = [
+    "LINE_LIMIT", "MAX_SIGN_MANY", "MAX_SIGNATURE_B64",
+    "MAX_MESSAGE_BYTES", "PROTOCOL_VERSION", "SUPPORTED_VERSIONS",
+    "encode", "decode", "pack_bytes", "unpack_bytes", "error_type",
+]
 
-#: Stream limit for readline() on both ends; comfortably above the largest
-#: base64-encoded SPHINCS+ signature (256s: 29,792 B raw -> ~40 KB b64).
+#: Highest protocol version this build speaks, and every version it serves.
+PROTOCOL_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Largest base64-encoded signature any parameter set can produce,
+#: derived from repro.params so it can never contradict the catalog.
+#: The biggest raw signature is SPHINCS+-256f at 49,856 B (NOT 256s —
+#: small sets trade signing time for size); base64 expands 3 bytes to 4,
+#: so at import time this is 66,476 B (~65 KB).
+#: tests/service/test_protocol_v2.py asserts the derivation and the
+#: LINE_LIMIT headroom below against the real catalog.
+MAX_SIGNATURE_B64 = 4 * ((max(p.sig_bytes for p in PARAMETER_SETS.values())
+                          + 2) // 3)
+
+#: Cap on the ``messages`` list of one ``sign-many`` frame (advertised as
+#: ``max_batch`` in the ``hello`` response), chosen so a worst-case
+#: response — MAX_SIGN_MANY largest-set signatures plus JSON envelope,
+#: ~800 KB — still fits one LINE_LIMIT line.
+MAX_SIGN_MANY = 12
+
+#: Stream limit for readline() on both ends.  1 MiB covers the largest
+#: single-signature frame (MAX_SIGNATURE_B64 + envelope, ~69 KB) about
+#: 15x over, and the worst-case full sign-many response with ~1.3x
+#: headroom.
 LINE_LIMIT = 1 << 20
+
+#: Largest message payload a ``sign``/``verify`` frame can carry: its
+#: base64 plus a generous envelope allowance must stay under LINE_LIMIT.
+#: Clients reject bigger payloads *before* writing — an oversized line
+#: would be cut off server-side and cost the whole connection.
+MAX_MESSAGE_BYTES = ((LINE_LIMIT - 4096) // 4) * 3
 
 #: Machine-readable error codes the server emits.
 ERROR_OVERLOADED = "overloaded"
 ERROR_UNKNOWN_KEY = "unknown-key"
 ERROR_PROTOCOL = "protocol"
 ERROR_INTERNAL = "internal"
+ERROR_UNKNOWN_VERB = "unknown-verb"            # v2: op not in the verb table
+ERROR_UNSUPPORTED_VERSION = "unsupported-version"
+ERROR_CONNECTION_LOST = "connection-lost"      # client-side synthetic code
+
+#: Wire error code -> the typed exception a client raises for it.  The
+#: single authoritative map: both the v1 ServiceClient and the repro.api
+#: clients resolve codes through :func:`error_type`.
+ERROR_TYPES: dict[str, type[ServiceError]] = {
+    ERROR_OVERLOADED: OverloadedError,
+    ERROR_UNKNOWN_KEY: KeystoreError,
+    ERROR_PROTOCOL: ProtocolError,
+    ERROR_UNKNOWN_VERB: UnknownVerbError,
+    ERROR_UNSUPPORTED_VERSION: UnsupportedVersionError,
+    ERROR_CONNECTION_LOST: ConnectionLostError,
+}
+
+
+def error_type(code: object) -> type[ServiceError]:
+    """The exception class for a wire error *code* (ServiceError if new)."""
+    return ERROR_TYPES.get(code, ServiceError)  # type: ignore[arg-type]
 
 
 def encode(message: dict) -> bytes:

@@ -38,15 +38,17 @@ import contextlib
 from dataclasses import dataclass
 
 from ..errors import (KeystoreError, OverloadedError, ProtocolError,
-                      ServiceError)
+                      ServiceError, UnknownVerbError)
 from ..runtime.backend import SigningBackend
 from ..runtime.pool import WorkerPool
 from ..runtime.registry import get_backend
+from ..sphincs.signer import Sphincs
 from . import protocol
 from .batcher import DeadlineBatcher, PendingSign, QueueKey
 from .dispatch import ShardedDispatcher
 from .keystore import Keystore
 from .telemetry import Telemetry, render_snapshot
+from .verbs import ConnectionState, VerbRegistry, default_registry
 
 __all__ = ["SignOutcome", "SigningService", "SigningServer"]
 
@@ -152,6 +154,24 @@ class SigningService:
         return await self.batcher.submit(tenant, key_name, message,
                                          budget_s=budget_s)
 
+    async def verify(self, message: bytes, signature: bytes, tenant: str,
+                     key_name: str = "default") -> tuple[bool, str]:
+        """Verify *signature* over *message* under the tenant's named key.
+
+        Returns ``(valid, canonical params name)``.  Verification never
+        raises on a bad signature — ``valid`` is simply ``False`` — but
+        unknown tenants/keys raise :class:`KeystoreError` exactly like
+        :meth:`sign`.  The hash walk is CPU-bound, so it runs on the
+        default executor; a fresh scheme per call keeps concurrent
+        verifications independent of the signing backends' caches.
+        """
+        keys, params_name = self.keystore.resolve(tenant, key_name)
+        scheme = Sphincs(params_name)
+        loop = asyncio.get_running_loop()
+        valid = await loop.run_in_executor(
+            None, scheme.verify, message, signature, keys.public)
+        return valid, params_name
+
     async def drain(self) -> None:
         """Dispatch and await everything still queued (shutdown path)."""
         await self.batcher.flush()
@@ -253,15 +273,43 @@ class SigningService:
 
 
 class SigningServer:
-    """Serve a :class:`SigningService` over newline-delimited JSON TCP."""
+    """Serve a :class:`SigningService` over newline-delimited JSON TCP.
+
+    Requests dispatch through a :class:`~.verbs.VerbRegistry` — a handler
+    table with per-verb schema validation and version gating.  Every
+    connection starts at protocol v1 (``sign`` / ``stats`` / ``ping``
+    served unchanged, no handshake required) and upgrades to v2 by
+    sending ``hello``, which unlocks ``verify``, ``sign-many``, and
+    ``keys`` and returns the capability advertisement.
+    """
 
     def __init__(self, service: SigningService,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 registry: VerbRegistry | None = None):
         self.service = service
         self.host = host
         self.port = port
+        self.registry = registry if registry is not None else \
+            default_registry()
         self._server: asyncio.base_events.Server | None = None
         self._connections: dict[asyncio.Task, asyncio.StreamWriter] = {}
+
+    def capabilities(self, version: int = protocol.PROTOCOL_VERSION) -> dict:
+        """The ``hello`` capability payload at *version*."""
+        from .. import __version__
+
+        service = self.service
+        return {
+            "version": version,
+            "server": f"repro/{__version__}",
+            "verbs": list(self.registry.names(version)),
+            "max_batch": protocol.MAX_SIGN_MANY,
+            "backend": service.backend_name,
+            "workers": (service.pool.workers
+                        if service.pool is not None else 0),
+            "parameter_sets": sorted({service.keystore.params_for(name)
+                                      for name in service.keystore.tenants()}),
+        }
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -299,6 +347,7 @@ class SigningServer:
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         loop = asyncio.get_running_loop()
+        conn = ConnectionState()
         connection = asyncio.current_task()
         if connection is not None:
             self._connections[connection] = writer
@@ -319,7 +368,7 @@ class SigningServer:
                 # Each request runs as its own task so a client can
                 # pipeline: a slow sign never blocks a ping or stats.
                 task = loop.create_task(
-                    self._serve_line(line, writer, write_lock))
+                    self._serve_line(line, writer, write_lock, conn))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
@@ -336,12 +385,20 @@ class SigningServer:
                 pass
 
     async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
-                          write_lock: asyncio.Lock) -> None:
+                          write_lock: asyncio.Lock,
+                          conn: ConnectionState) -> None:
         request_id = None
         try:
             request = protocol.decode(line)
             request_id = request.get("id")
-            response = await self._serve_request(request)
+            response = await self._serve_request(request, conn)
+        except UnknownVerbError as exc:
+            # v1 predates the distinct code; those connections keep the
+            # historical "protocol" code so v1 clients' error mapping
+            # holds, while v2 clients get the precise one.
+            code = (protocol.ERROR_UNKNOWN_VERB if conn.version >= 2
+                    else protocol.ERROR_PROTOCOL)
+            response = {"ok": False, "error": code, "detail": str(exc)}
         except ProtocolError as exc:
             response = {"ok": False, "error": protocol.ERROR_PROTOCOL,
                         "detail": str(exc)}
@@ -358,35 +415,10 @@ class SigningServer:
             response["id"] = request_id
         await self._send(writer, write_lock, response)
 
-    async def _serve_request(self, request: dict) -> dict:
-        op = request.get("op")
-        if op == "ping":
-            return {"ok": True, "op": "ping"}
-        if op == "stats":
-            return {"ok": True, "op": "stats", "stats": self.service.stats()}
-        if op == "sign":
-            tenant = request.get("tenant")
-            key_name = request.get("key", "default")
-            if not isinstance(tenant, str) or not isinstance(key_name, str):
-                raise ProtocolError("'tenant' and 'key' must be strings")
-            message = protocol.unpack_bytes(request.get("message"))
-            deadline_ms = request.get("deadline_ms")
-            if deadline_ms is not None and (
-                    not isinstance(deadline_ms, (int, float))
-                    or deadline_ms < 0):
-                raise ProtocolError("'deadline_ms' must be a number >= 0")
-            outcome = await self.service.sign(
-                message, tenant, key_name=key_name, deadline_ms=deadline_ms)
-            return {
-                "ok": True, "op": "sign",
-                "signature": protocol.pack_bytes(outcome.signature),
-                "params": outcome.params,
-                "backend": outcome.backend,
-                "batch_size": outcome.batch_size,
-                "wait_ms": outcome.wait_ms,
-                "total_ms": outcome.total_ms,
-            }
-        raise ProtocolError(f"unknown op {op!r}")
+    async def _serve_request(self, request: dict,
+                             conn: ConnectionState) -> dict:
+        verb, args = self.registry.resolve(request, conn.version)
+        return await verb.handler(self, conn, args)
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, write_lock: asyncio.Lock,

@@ -1,0 +1,295 @@
+"""The verb registry: one handler table drives the wire protocol.
+
+Each protocol verb is a :class:`Verb` — a name, the minimum protocol
+version that serves it, a field schema validated *before* the handler
+runs, and the handler itself.  The server resolves every incoming frame
+through one :class:`VerbRegistry` instead of an if/elif chain, so adding
+a verb is one ``Verb(...)`` entry: the schema check, the version gate,
+the ``hello`` capability advertisement, and the unknown-verb error all
+follow from the table.
+
+Connections start at protocol v1 (no handshake — that *is* the v1 compat
+shim) and upgrade by sending ``hello``; the negotiated version lives in
+the per-connection :class:`ConnectionState` and gates which rows of the
+table the connection can reach.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from ..errors import OverloadedError, ProtocolError, UnknownVerbError
+from . import protocol
+
+__all__ = ["ConnectionState", "FieldSpec", "Verb", "VerbRegistry",
+           "default_registry"]
+
+
+@dataclass
+class ConnectionState:
+    """Per-connection negotiation state (mutated by the ``hello`` verb)."""
+
+    version: int = 1
+
+
+# ----------------------------------------------------------------------
+# Field schema
+# ----------------------------------------------------------------------
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One request field: its wire name, parser, and default.
+
+    ``parse`` receives the raw JSON value and returns the validated
+    Python value, raising :class:`ProtocolError` on anything malformed —
+    handlers therefore only ever see well-typed arguments.
+    """
+
+    name: str
+    parse: Callable[[object], Any]
+    required: bool = True
+    default: Any = None
+
+
+def _string(value: object, name: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{name!r} must be a string")
+    return value
+
+
+def _b64(value: object, name: str) -> bytes:
+    return protocol.unpack_bytes(value, name=name)
+
+
+def _deadline(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value < 0:
+        raise ProtocolError(f"{name!r} must be a number >= 0")
+    return float(value)
+
+
+def _version(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ProtocolError(
+            f"{name!r} must be an integer >= 1 "
+            f"(this server speaks {protocol.SUPPORTED_VERSIONS})"
+        )
+    return value
+
+
+def _b64_list(value: object, name: str) -> list[bytes]:
+    if not isinstance(value, list) or not value:
+        raise ProtocolError(f"{name!r} must be a non-empty list of "
+                            "base64 strings")
+    if len(value) > protocol.MAX_SIGN_MANY:
+        raise ProtocolError(
+            f"{name!r} holds {len(value)} messages; this server caps "
+            f"sign-many frames at {protocol.MAX_SIGN_MANY} (see "
+            "'max_batch' in the hello response) — split the batch"
+        )
+    return [protocol.unpack_bytes(item, name=f"{name}[{index}]")
+            for index, item in enumerate(value)]
+
+
+def _spec(name: str, kind: Callable[[object, str], Any], *,
+          required: bool = True, default: Any = None) -> FieldSpec:
+    return FieldSpec(name=name, required=required, default=default,
+                     parse=lambda value: kind(value, name))
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+Handler = Callable[[Any, ConnectionState, dict], Awaitable[dict]]
+
+
+@dataclass(frozen=True)
+class Verb:
+    """One protocol verb: schema-validated handler plus its version gate."""
+
+    name: str
+    handler: Handler
+    min_version: int = 1
+    fields: tuple[FieldSpec, ...] = ()
+    summary: str = ""
+
+
+class VerbRegistry:
+    """Name -> :class:`Verb` table with version-aware resolution."""
+
+    def __init__(self, verbs: tuple[Verb, ...] = ()):
+        self._verbs: dict[str, Verb] = {}
+        for verb in verbs:
+            self.register(verb)
+
+    def register(self, verb: Verb, replace: bool = False) -> None:
+        if verb.name in self._verbs and not replace:
+            raise ProtocolError(
+                f"verb {verb.name!r} is already registered; pass "
+                "replace=True to override"
+            )
+        self._verbs[verb.name] = verb
+
+    def names(self, version: int = protocol.PROTOCOL_VERSION
+              ) -> tuple[str, ...]:
+        """Verbs served at *version*, sorted (the hello advertisement)."""
+        return tuple(sorted(name for name, verb in self._verbs.items()
+                            if verb.min_version <= version))
+
+    def resolve(self, request: dict,
+                version: int) -> tuple[Verb, dict]:
+        """Validate one decoded frame into ``(verb, parsed args)``.
+
+        Raises :class:`UnknownVerbError` for an op outside the table (or
+        gated behind a higher protocol version than the connection
+        negotiated) and :class:`ProtocolError` for schema violations.
+        """
+        op = request.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError(
+                f"'op' must be a string naming a verb, got {op!r}"
+            )
+        verb = self._verbs.get(op)
+        if verb is None:
+            raise UnknownVerbError(
+                f"unknown verb {op!r} "
+                f"(serving: {', '.join(self.names(version))})"
+            )
+        if verb.min_version > version:
+            raise UnknownVerbError(
+                f"verb {op!r} requires protocol >= {verb.min_version} but "
+                f"this connection negotiated v{version} — send "
+                '{"op": "hello", "version": 2} first (serving: '
+                + ", ".join(self.names(version)) + ")"
+            )
+        args = {}
+        for spec in verb.fields:
+            value = request.get(spec.name, _MISSING)
+            if value is _MISSING:
+                if spec.required:
+                    raise ProtocolError(
+                        f"verb {op!r} requires field {spec.name!r}"
+                    )
+                args[spec.name] = spec.default
+            else:
+                args[spec.name] = spec.parse(value)
+        return verb, args
+
+
+# ----------------------------------------------------------------------
+# Handlers (the *server* argument is the SigningServer instance)
+# ----------------------------------------------------------------------
+async def _verb_hello(server, conn: ConnectionState, args: dict) -> dict:
+    # An unknown (too-new) version is answered with a downgrade offer:
+    # the highest version this server speaks.  The client decides whether
+    # the offer is acceptable — the server never hangs or drops the line.
+    conn.version = min(args["version"], protocol.PROTOCOL_VERSION)
+    return {"ok": True, "op": "hello", **server.capabilities(conn.version)}
+
+
+async def _verb_ping(server, conn: ConnectionState, args: dict) -> dict:
+    return {"ok": True, "op": "ping"}
+
+
+async def _verb_stats(server, conn: ConnectionState, args: dict) -> dict:
+    return {"ok": True, "op": "stats", "stats": server.service.stats()}
+
+
+async def _verb_sign(server, conn: ConnectionState, args: dict) -> dict:
+    outcome = await server.service.sign(
+        args["message"], args["tenant"], key_name=args["key"],
+        deadline_ms=args["deadline_ms"])
+    return {
+        "ok": True, "op": "sign",
+        "signature": protocol.pack_bytes(outcome.signature),
+        "params": outcome.params,
+        "backend": outcome.backend,
+        "batch_size": outcome.batch_size,
+        "wait_ms": outcome.wait_ms,
+        "total_ms": outcome.total_ms,
+    }
+
+
+async def _verb_verify(server, conn: ConnectionState, args: dict) -> dict:
+    valid, params = await server.service.verify(
+        args["message"], args["signature"], args["tenant"],
+        key_name=args["key"])
+    return {"ok": True, "op": "verify", "valid": valid, "params": params}
+
+
+async def _verb_sign_many(server, conn: ConnectionState, args: dict) -> dict:
+    # Tenant/key resolution failures fail the whole frame (nothing could
+    # have signed); per-message failures after that come back per item so
+    # one shed request does not discard its siblings' signatures.
+    tenant, key = args["tenant"], args["key"]
+    server.service.keystore.resolve(tenant, key)
+    outcomes = await asyncio.gather(
+        *(server.service.sign(message, tenant, key_name=key,
+                              deadline_ms=args["deadline_ms"])
+          for message in args["messages"]),
+        return_exceptions=True)
+    results = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            code = (protocol.ERROR_OVERLOADED
+                    if isinstance(outcome, OverloadedError)
+                    else protocol.ERROR_INTERNAL)
+            results.append({"ok": False, "error": code,
+                            "detail": str(outcome)})
+        else:
+            results.append({
+                "ok": True,
+                "signature": protocol.pack_bytes(outcome.signature),
+                "params": outcome.params,
+                "backend": outcome.backend,
+                "batch_size": outcome.batch_size,
+                "wait_ms": outcome.wait_ms,
+                "total_ms": outcome.total_ms,
+            })
+    return {"ok": True, "op": "sign-many", "tenant": tenant, "key": key,
+            "results": results}
+
+
+async def _verb_keys(server, conn: ConnectionState, args: dict) -> dict:
+    keystore = server.service.keystore
+    tenant = args["tenant"]
+    names = keystore.key_names(tenant)  # raises KeystoreError if unknown
+    return {"ok": True, "op": "keys", "tenant": tenant,
+            "params": keystore.params_for(tenant), "keys": list(names)}
+
+
+def default_registry() -> VerbRegistry:
+    """The stock protocol: v1 verbs plus the v2 additions."""
+    return VerbRegistry((
+        Verb("hello", _verb_hello, min_version=1,
+             fields=(_spec("version", _version),),
+             summary="negotiate protocol version and capabilities"),
+        Verb("ping", _verb_ping, min_version=1, summary="liveness probe"),
+        Verb("stats", _verb_stats, min_version=1,
+             summary="telemetry snapshot"),
+        Verb("sign", _verb_sign, min_version=1,
+             fields=(_spec("tenant", _string),
+                     _spec("key", _string, required=False, default="default"),
+                     _spec("message", _b64),
+                     _spec("deadline_ms", _deadline, required=False)),
+             summary="sign one message under a tenant key"),
+        Verb("verify", _verb_verify, min_version=2,
+             fields=(_spec("tenant", _string),
+                     _spec("key", _string, required=False, default="default"),
+                     _spec("message", _b64),
+                     _spec("signature", _b64)),
+             summary="verify a signature under a tenant key"),
+        Verb("sign-many", _verb_sign_many, min_version=2,
+             fields=(_spec("tenant", _string),
+                     _spec("key", _string, required=False, default="default"),
+                     _spec("messages", _b64_list),
+                     _spec("deadline_ms", _deadline, required=False)),
+             summary="sign up to max_batch messages in one frame"),
+        Verb("keys", _verb_keys, min_version=2,
+             fields=(_spec("tenant", _string),),
+             summary="list a tenant's named keys"),
+    ))

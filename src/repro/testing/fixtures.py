@@ -41,6 +41,7 @@ def differential_oracle():
     def make(params: str = "128f", **kwargs) -> DifferentialOracle:
         kwargs.setdefault("smoke", True)
         kwargs.setdefault("include_service", False)
+        kwargs.setdefault("include_clients", False)
         return DifferentialOracle(params, **kwargs)
 
     return make

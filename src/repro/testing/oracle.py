@@ -2,9 +2,12 @@
 
 Every execution strategy in this repository — the scalar reference
 backend, the vectorized CPU backend, the modeled-GPU backend, the
-:class:`~repro.runtime.scheduler.BatchScheduler` service layer, and the
-async :class:`~repro.service.server.SigningService` — promises the same
-thing: byte-identical SPHINCS+ signatures in deterministic mode.  The
+:class:`~repro.runtime.scheduler.BatchScheduler` service layer, the
+async :class:`~repro.service.server.SigningService`, and the unified
+:mod:`repro.api` client facade over each transport (``client:local``,
+``client:pooled``, ``client:tcp`` — the last over a live protocol-v2
+server) — promises the same thing: byte-identical SPHINCS+ signatures
+in deterministic mode.  The
 oracle *enforces* that promise.  It signs a shared adversarial corpus
 (:func:`repro.testing.corpus.message_corpus`) on a reference scheme, runs
 every registered path over the same corpus and keys, and reports:
@@ -202,6 +205,14 @@ class DifferentialOracle:
         ``pooled`` backend is in play, the service pass additionally runs
         with a ``service_workers``-process worker pool behind the sharded
         dispatcher, proving the whole multi-core tier byte-identical.
+    include_clients:
+        Also drive the corpus through the :mod:`repro.api` facade on
+        every transport: ``client:local`` (in-process scheduler),
+        ``client:pooled`` (worker pool, when ``pooled`` is among the
+        backends), and ``client:tcp`` (an AsyncClient against a live
+        protocol-v2 server).  Each path byte-compares against the
+        reference and additionally round-trips a ``verify`` call through
+        the same facade.
     fault / fault_target:
         Optional :class:`BitFlipFault` installed on *fault_target*'s
         direct-backend pass — the oracle then demonstrates detection.
@@ -213,6 +224,7 @@ class DifferentialOracle:
                  seed: int = 0, smoke: bool = False,
                  include_scheduler: bool = True,
                  include_service: bool = True,
+                 include_clients: bool = True,
                  service_backend: str = "vectorized",
                  service_workers: int = 2,
                  fault: BitFlipFault | None = None,
@@ -224,6 +236,7 @@ class DifferentialOracle:
                        else message_corpus(seed=seed, smoke=smoke))
         self.include_scheduler = include_scheduler
         self.include_service = include_service
+        self.include_clients = include_clients
         self.service_backend = service_backend
         self.service_workers = service_workers
         self.fault = fault
@@ -272,6 +285,20 @@ class DifferentialOracle:
                 results.append(asyncio.run(
                     self._run_service(scheme, keys, expected,
                                       workers=self.service_workers)))
+        if self.include_clients:
+            # The unified facade must uphold the same contract through
+            # every transport it abstracts over.
+            results.append(self._run_client(
+                "client:local", scheme, keys, expected,
+                backend=self.service_backend))
+            if "pooled" in self.backends:
+                results.append(self._run_client(
+                    "client:pooled", scheme, keys, expected,
+                    backend="pooled",
+                    backend_options={"pooled":
+                                     {"workers": self.service_workers}}))
+            results.append(asyncio.run(
+                self._run_client_tcp(scheme, keys, expected)))
 
         fault_hop = None
         if self.fault is not None and self.corpus:
@@ -298,8 +325,9 @@ class DifferentialOracle:
     # ------------------------------------------------------------------
     def _compare(self, result: PathResult, scheme: Sphincs, keys: KeyPair,
                  expected: dict[str, bytes],
-                 produced: dict[str, bytes]) -> None:
-        for case, message in self.corpus:
+                 produced: dict[str, bytes],
+                 corpus: list[tuple[str, bytes]] | None = None) -> None:
+        for case, message in (self.corpus if corpus is None else corpus):
             result.count += 1
             signature = produced.get(case)
             if signature is None:
@@ -391,6 +419,102 @@ class DifferentialOracle:
             result.elapsed_s = time.perf_counter() - started
             results.append(result)
         return results
+
+    def _client_keystore(self):
+        """A keystore whose 'oracle' tenant key equals the reference key
+        (same deterministic seed), so facade signatures byte-compare."""
+        from ..service import Keystore
+
+        keystore = Keystore()
+        keystore.add_tenant("oracle", self.params.name)
+        keystore.generate_key("oracle", "default",
+                              seed=bytes(3 * self.params.n))
+        return keystore
+
+    def _client_compare(self, result: PathResult, scheme: Sphincs,
+                        keys: KeyPair, expected: dict[str, bytes],
+                        corpus: list[tuple[str, bytes]],
+                        signed: list, verdict) -> None:
+        produced = {case: item.signature
+                    for (case, _), item in zip(corpus, signed)}
+        self._compare(result, scheme, keys, expected, produced,
+                      corpus=corpus)
+        # The facade's verify must accept what the facade signed —
+        # the served-verification half of the contract.
+        if corpus and not verdict.valid:
+            result.divergences.append(Divergence(
+                path=result.path, case=corpus[0][0], stage="client-verify",
+                verify_failed=True,
+                detail="facade verify rejected a facade signature",
+            ))
+
+    def _run_client(self, label: str, scheme: Sphincs, keys: KeyPair,
+                    expected: dict[str, bytes], backend: str,
+                    backend_options: dict | None = None) -> PathResult:
+        from ..api import LocalClient
+
+        result = PathResult(path=label)
+        started = time.perf_counter()
+        client = None
+        try:
+            client = LocalClient(self._client_keystore(), backend=backend,
+                                 deterministic=True,
+                                 backend_options=backend_options)
+            signed = client.sign_many(
+                "oracle", [message for _, message in self.corpus])
+            case, message = self.corpus[0]
+            verdict = client.verify("oracle", message, signed[0].signature)
+            self._client_compare(result, scheme, keys, expected,
+                                 self.corpus, signed, verdict)
+        except TuningError as exc:
+            result.skipped = str(exc)
+        except Exception as exc:  # noqa: BLE001 — a path failing is a finding
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if client is not None:
+                client.close()
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    async def _run_client_tcp(self, scheme: Sphincs, keys: KeyPair,
+                              expected: dict[str, bytes]) -> PathResult:
+        from ..api import AsyncClient
+        from ..service import SigningServer, SigningService, protocol
+
+        result = PathResult(path="client:tcp")
+        started = time.perf_counter()
+        # The wire can only frame messages up to MAX_MESSAGE_BYTES (the
+        # full corpus includes a 1 MiB case); skipping oversized cases is
+        # a stated transport bound, not a divergence.
+        corpus = [(case, message) for case, message in self.corpus
+                  if len(message) <= protocol.MAX_MESSAGE_BYTES]
+        server = None
+        client = None
+        try:
+            service = SigningService(
+                self._client_keystore(), backend=self.service_backend,
+                target_batch_size=max(2, len(corpus) // 2),
+                max_wait_s=0.05, max_pending=max(64, 2 * len(corpus)),
+                deterministic=True)
+            server = SigningServer(service, port=0)
+            await server.start()
+            client = await AsyncClient.connect(port=server.port)
+            signed = await client.sign_many(
+                "oracle", [message for _, message in corpus])
+            case, message = corpus[0]
+            verdict = await client.verify("oracle", message,
+                                          signed[0].signature)
+            self._client_compare(result, scheme, keys, expected, corpus,
+                                 signed, verdict)
+        except Exception as exc:  # noqa: BLE001
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if client is not None:
+                await client.close()
+            if server is not None:
+                await server.stop()
+        result.elapsed_s = time.perf_counter() - started
+        return result
 
     async def _run_service(self, scheme: Sphincs, keys: KeyPair,
                            expected: dict[str, bytes],

@@ -1,0 +1,86 @@
+"""The typed request/response model: validation and error mapping."""
+
+import pytest
+
+from repro.api import (ServiceInfo, SignRequest, SignResult, VerifyRequest,
+                       VerifyResult)
+from repro.errors import (ConnectionLostError, KeystoreError,
+                          OverloadedError, ProtocolError, ServiceError,
+                          UnknownVerbError, UnsupportedVersionError)
+from repro.service import protocol
+
+
+class TestRequestValidation:
+    def test_sign_request_accepts_well_typed_input(self):
+        request = SignRequest(tenant="acme", message=b"payload",
+                              deadline_ms=25)
+        assert request.key == "default"
+        assert request.deadline_ms == 25
+
+    @pytest.mark.parametrize("kwargs", [
+        {"tenant": "", "message": b"x"},
+        {"tenant": 7, "message": b"x"},
+        {"tenant": "acme", "message": "not-bytes"},
+        {"tenant": "acme", "message": b"x", "key": ""},
+        {"tenant": "acme", "message": b"x", "deadline_ms": -1},
+        {"tenant": "acme", "message": b"x", "deadline_ms": True},
+        {"tenant": "acme", "message": b"x", "deadline_ms": "soon"},
+    ])
+    def test_sign_request_rejects_malformed_input(self, kwargs):
+        with pytest.raises(ProtocolError):
+            SignRequest(**kwargs)
+
+    def test_verify_request_rejects_non_bytes_signature(self):
+        with pytest.raises(ProtocolError, match="signature"):
+            VerifyRequest(tenant="acme", message=b"x", signature="sig")
+
+    def test_requests_are_immutable(self):
+        request = SignRequest(tenant="acme", message=b"x")
+        with pytest.raises(AttributeError):
+            request.tenant = "other"
+
+
+class TestErrorMapping:
+    def test_every_wire_code_maps_to_its_typed_error(self):
+        assert protocol.error_type("overloaded") is OverloadedError
+        assert protocol.error_type("unknown-key") is KeystoreError
+        assert protocol.error_type("protocol") is ProtocolError
+        assert protocol.error_type("unknown-verb") is UnknownVerbError
+        assert (protocol.error_type("unsupported-version")
+                is UnsupportedVersionError)
+        assert protocol.error_type("connection-lost") is ConnectionLostError
+
+    def test_unknown_code_falls_back_to_service_error(self):
+        assert protocol.error_type("brand-new-code") is ServiceError
+        assert protocol.error_type(None) is ServiceError
+
+    def test_every_mapped_error_is_a_service_error(self):
+        # `except ServiceError` must catch anything a transport raises
+        # from a wire response, current and future codes alike.
+        for error_type in protocol.ERROR_TYPES.values():
+            assert issubclass(error_type, ServiceError)
+
+    def test_connection_lost_carries_in_flight_ids(self):
+        error = ConnectionLostError("gone", in_flight=(3, 1, 2))
+        assert error.in_flight == (3, 1, 2)
+        assert isinstance(error, ConnectionError)  # stdlib-catchable too
+        assert ConnectionLostError("gone").in_flight == ()
+
+
+class TestServiceInfo:
+    def test_supports_checks_the_negotiated_verb_set(self):
+        info = ServiceInfo(transport="tcp", server="repro/1.0.0",
+                           protocol_version=2,
+                           verbs=("sign", "verify"), backend="vectorized")
+        assert info.supports("verify")
+        assert not info.supports("keys")
+
+    def test_results_carry_their_transport(self):
+        result = SignResult(signature=b"s", tenant="acme", key="default",
+                            params="SPHINCS+-128f", backend="vectorized",
+                            batch_size=1, wait_ms=0.0, total_ms=1.0,
+                            transport="local")
+        verdict = VerifyResult(valid=True, tenant="acme", key="default",
+                               params="SPHINCS+-128f", transport="tcp")
+        assert result.transport == "local"
+        assert verdict.transport == "tcp"

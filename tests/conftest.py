@@ -13,6 +13,14 @@ from repro.gpusim.engine import TimingEngine
 from repro.params import get_params
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-api-surface", action="store_true", default=False,
+        help="rewrite tests/api_surface.json from the current repro.api "
+             "public surface (the deliberate-change workflow, mirroring "
+             "`repro conformance --regen-kats` for KAT vectors)")
+
+
 @pytest.fixture(scope="session")
 def rtx4090():
     return get_device("RTX 4090")

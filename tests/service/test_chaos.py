@@ -53,7 +53,7 @@ class TestFlakyNetwork:
                     try:
                         if client is None:
                             client = await asyncio.wait_for(
-                                ServiceClient.connect(port=proxy.port),
+                                ServiceClient.open(port=proxy.port),
                                 timeout=10)
                         response = await asyncio.wait_for(
                             client.sign(message, "demo"), timeout=30)
@@ -96,7 +96,7 @@ class TestFlakyNetwork:
             await proxy.start()
             try:
                 client = await asyncio.wait_for(
-                    ServiceClient.connect(port=proxy.port), timeout=10)
+                    ServiceClient.open(port=proxy.port), timeout=10)
                 with pytest.raises((ServiceError, ConnectionError,
                                     OSError)):
                     await asyncio.wait_for(client.sign(b"doomed", "demo"),

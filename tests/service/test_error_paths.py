@@ -11,7 +11,8 @@ import json
 
 import pytest
 
-from repro.errors import KeystoreError, OverloadedError, ServiceError
+from repro.errors import (ConnectionLostError, KeystoreError,
+                          OverloadedError, ServiceError)
 from repro.params import get_params
 from repro.service import (Keystore, ServiceClient, SigningServer,
                            SigningService, derive_seed, protocol)
@@ -37,7 +38,7 @@ class TestOverload:
                                    max_pending=2)
             server = SigningServer(service, port=0)
             await server.start()
-            client = await ServiceClient.connect(port=server.port)
+            client = await ServiceClient.open(port=server.port)
             try:
                 queued = [asyncio.ensure_future(client.sign(b"q0", "demo")),
                           asyncio.ensure_future(client.sign(b"q1", "demo"))]
@@ -163,6 +164,91 @@ class TestHostileFrames:
         asyncio.run(scenario())
 
 
+class TestConnectionLost:
+    def test_mid_pipeline_drop_is_typed_and_names_in_flight_ids(self):
+        """A server closing mid-pipeline must surface as one typed
+        ConnectionLostError on every unanswered request — carrying the
+        wire ids still in flight, never a bare ConnectionResetError or
+        IncompleteReadError — and a reconnect resumes signing."""
+        async def scenario():
+            async def rude_server(reader, writer):
+                # Read the pipelined requests, answer none, drop the line.
+                for _ in range(3):
+                    await reader.readline()
+                writer.close()
+
+            stub = await asyncio.start_server(rude_server, "127.0.0.1", 0)
+            port = stub.sockets[0].getsockname()[1]
+            client = ServiceClient(*await asyncio.open_connection(
+                port=port, limit=protocol.LINE_LIMIT))
+            pipelined = [asyncio.ensure_future(
+                client.sign(f"m{i}".encode(), "demo")) for i in range(3)]
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*pipelined, return_exceptions=True),
+                timeout=30)
+            assert all(isinstance(o, ConnectionLostError)
+                       for o in outcomes)
+            # Every unanswered wire id is reported, on each failure.
+            for outcome in outcomes:
+                assert outcome.in_flight == (1, 2, 3)
+                assert "in flight" in str(outcome)
+            # New requests on the dead connection fail fast and typed.
+            with pytest.raises(ConnectionLostError, match="reconnect"):
+                await client.ping()
+            await client.close()
+            stub.close()
+            await stub.wait_closed()
+
+            # Reconnecting against a real server resumes service; the
+            # caller decides per in-flight id what to resubmit.
+            server = SigningServer(make_service(target_batch_size=1),
+                                   port=0)
+            await server.start()
+            fresh = await ServiceClient.open(port=server.port)
+            try:
+                response = await asyncio.wait_for(
+                    fresh.sign(b"m0", "demo"), timeout=60)
+                keys, params = server.service.keystore.resolve("demo")
+                assert Sphincs(params).verify(b"m0", response["signature"],
+                                              keys.public)
+            finally:
+                await fresh.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_reset_mid_read_maps_to_connection_lost(self):
+        """An abortive close (RST while a response is owed) must map the
+        stdlib ConnectionResetError to the typed error."""
+        async def scenario():
+            async def resetting_server(reader, writer):
+                await reader.readline()
+                socket_obj = writer.get_extra_info("socket")
+                # SO_LINGER 0: close() sends RST instead of FIN.
+                import socket as socket_module
+                import struct
+
+                socket_obj.setsockopt(
+                    socket_module.SOL_SOCKET, socket_module.SO_LINGER,
+                    struct.pack("ii", 1, 0))
+                writer.close()
+
+            stub = await asyncio.start_server(resetting_server,
+                                              "127.0.0.1", 0)
+            port = stub.sockets[0].getsockname()[1]
+            client = ServiceClient(*await asyncio.open_connection(
+                port=port, limit=protocol.LINE_LIMIT))
+            with pytest.raises(ConnectionLostError) as excinfo:
+                await asyncio.wait_for(client.sign(b"m", "demo"),
+                                       timeout=30)
+            assert excinfo.value.in_flight == (1,)
+            await client.close()
+            stub.close()
+            await stub.wait_closed()
+
+        asyncio.run(scenario())
+
+
 class TestRestart:
     def test_client_reconnects_after_server_restart(self):
         async def scenario():
@@ -170,7 +256,7 @@ class TestRestart:
             server = SigningServer(service, port=0)
             await server.start()
             port = server.port
-            client = await ServiceClient.connect(port=port)
+            client = await ServiceClient.open(port=port)
             first = await asyncio.wait_for(client.sign(b"gen-1", "demo"),
                                            timeout=60)
             await server.stop()
@@ -185,7 +271,7 @@ class TestRestart:
             restarted = SigningServer(make_service(target_batch_size=1),
                                       port=port)
             await restarted.start()
-            client = await ServiceClient.connect(port=port)
+            client = await ServiceClient.open(port=port)
             try:
                 second = await asyncio.wait_for(
                     client.sign(b"gen-1", "demo"), timeout=60)

@@ -153,7 +153,7 @@ class TestTcp:
             service = make_service(target_batch_size=2, max_wait_s=0.05)
             server = SigningServer(service, port=0)
             await server.start()
-            client = await ServiceClient.connect(port=server.port)
+            client = await ServiceClient.open(port=server.port)
             try:
                 assert await client.ping()
                 responses = await asyncio.wait_for(asyncio.gather(
@@ -180,7 +180,7 @@ class TestTcp:
                                    max_pending=1)
             server = SigningServer(service, port=0)
             await server.start()
-            client = await ServiceClient.connect(port=server.port)
+            client = await ServiceClient.open(port=server.port)
             try:
                 with pytest.raises(KeystoreError, match="unknown tenant"):
                     await client.sign(b"x", "ghost")
@@ -193,7 +193,7 @@ class TestTcp:
                     await asyncio.sleep(0.01)
                 with pytest.raises(OverloadedError):
                     await client.sign(b"b", "demo")
-                with pytest.raises(ProtocolError, match="unknown op"):
+                with pytest.raises(ProtocolError, match="unknown verb"):
                     await client.request({"op": "frobnicate"})
                 await service.drain()
                 assert (await asyncio.wait_for(accepted, 60))["batch_size"] == 1
@@ -211,7 +211,7 @@ class TestTcp:
             service = make_service()
             server = SigningServer(service, port=0)
             await server.start()
-            client = await ServiceClient.connect(port=server.port)
+            client = await ServiceClient.open(port=server.port)
             try:
                 assert await client.ping()
                 await server.stop()

@@ -1,0 +1,75 @@
+"""The API-surface snapshot gate for ``repro.api``.
+
+``tests/api_surface.json`` pins every public symbol of the unified
+client API — dataclass fields, method signatures, exception bases.  An
+accidental rename, a dropped field, or a changed default fails here
+*before* it ships to client code.  Intentional changes regenerate the
+snapshot deliberately::
+
+    python -m pytest tests/test_api_surface.py --regen-api-surface
+
+mirroring the ``--regen-kats`` workflow for cryptographic vectors: the
+diff of the regenerated JSON is the reviewable record of the API change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.surface import api_surface
+
+SNAPSHOT = Path(__file__).parent / "api_surface.json"
+
+
+def test_api_surface_matches_pinned_snapshot(request):
+    current = api_surface()
+    if request.config.getoption("--regen-api-surface"):
+        SNAPSHOT.write_text(json.dumps(current, indent=2, sort_keys=True)
+                            + "\n")
+        pytest.skip(f"regenerated {SNAPSHOT.name}")
+    assert SNAPSHOT.exists(), (
+        f"{SNAPSHOT} is missing; generate it with "
+        "`python -m pytest tests/test_api_surface.py --regen-api-surface`"
+    )
+    pinned = json.loads(SNAPSHOT.read_text())
+    if current == pinned:
+        return
+    # Name exactly what drifted before failing, so the error is
+    # actionable without diffing JSON by hand.
+    problems = []
+    for name in sorted(set(pinned["symbols"]) | set(current["symbols"])):
+        old, new = (pinned["symbols"].get(name),
+                    current["symbols"].get(name))
+        if old is None:
+            problems.append(f"added symbol {name!r}")
+        elif new is None:
+            problems.append(f"REMOVED symbol {name!r}")
+        elif old != new:
+            problems.append(f"changed {name!r}: {old} -> {new}")
+    if pinned.get("format") != current.get("format"):
+        problems.append(
+            f"snapshot format {pinned.get('format')} -> "
+            f"{current.get('format')}")
+    pytest.fail(
+        "repro.api public surface drifted from tests/api_surface.json:\n  "
+        + "\n  ".join(problems)
+        + "\nIf the change is intentional, regenerate with "
+        "`python -m pytest tests/test_api_surface.py --regen-api-surface` "
+        "and review the JSON diff."
+    )
+
+
+def test_surface_describes_every_public_name():
+    from repro import api
+
+    surface = api_surface()
+    assert set(surface["symbols"]) == set(api.__all__)
+    # The core contract types must be captured as dataclasses with their
+    # fields — the part client code breaks on most easily.
+    for name in ("SignRequest", "SignResult", "VerifyRequest",
+                 "VerifyResult", "ServiceInfo"):
+        assert surface["symbols"][name]["kind"] == "dataclass", name
+        assert surface["symbols"][name]["fields"], name
+    assert surface["symbols"]["connect"]["kind"] == "function"
+    assert surface["symbols"]["OverloadedError"]["kind"] == "exception"

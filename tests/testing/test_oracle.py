@@ -35,6 +35,23 @@ class TestCleanTree:
         assert any(result.path == "service:vectorized"
                    for result in report.results)
 
+    def test_client_facade_paths_byte_identical(self, differential_oracle):
+        """Acceptance: the repro.api facade joins the oracle —
+        client:local, client:pooled, and client:tcp (over a live v2
+        server) all byte-identical to the reference scheme."""
+        oracle = differential_oracle(
+            "128f", backends=["vectorized", "pooled"], corpus=SMALL_CORPUS,
+            include_scheduler=False, include_clients=True)
+        report = oracle.run()
+        assert report.passed, report.render()
+        client_paths = {result.path for result in report.results
+                        if result.path.startswith("client:")}
+        assert client_paths == {"client:local", "client:pooled",
+                                "client:tcp"}
+        for result in report.results:
+            if result.path.startswith("client:"):
+                assert result.count == result.matched == result.verified == 3
+
 
 class TestFaultInjection:
     def test_fault_caught_named_and_localized(self, differential_oracle):
@@ -87,7 +104,8 @@ class TestExtensibility:
         try:
             oracle = DifferentialOracle(
                 "128f", backends=["test-corrupted"], corpus=SMALL_CORPUS[:1],
-                include_scheduler=False, include_service=False)
+                include_scheduler=False, include_service=False,
+                include_clients=False)
             report = oracle.run()
             assert not report.passed
             divergence = report.first_divergence()
@@ -110,7 +128,7 @@ class TestExtensibility:
         try:
             report = DifferentialOracle(
                 "128f", backends=["test-limited"], corpus=SMALL_CORPUS[:1],
-                include_service=False).run()
+                include_service=False, include_clients=False).run()
             assert report.passed
             limited = [r for r in report.results
                        if r.path.endswith("test-limited")]
@@ -133,7 +151,7 @@ class TestExtensibility:
             oracle = DifferentialOracle(
                 "128f", backends=["test-hookless"], corpus=SMALL_CORPUS[:1],
                 include_scheduler=False, include_service=False,
-                fault=parse_fault("thash:bitflip"),
+                include_clients=False, fault=parse_fault("thash:bitflip"),
                 fault_target="test-hookless")
             with pytest.raises(ConformanceError, match="hash_context"):
                 oracle.run()
@@ -143,7 +161,8 @@ class TestExtensibility:
     def test_unknown_backend_is_an_error_not_a_crash(self):
         oracle = DifferentialOracle(
             "128f", backends=["no-such-backend"], corpus=SMALL_CORPUS[:1],
-            include_scheduler=False, include_service=False)
+            include_scheduler=False, include_service=False,
+                include_clients=False)
         report = oracle.run()
         assert not report.passed
         broken = [r for r in report.results
