@@ -4,9 +4,15 @@ Not a paper table: honest wall-clock numbers for the two CPU backends on
 the same 64-message batch, recorded as JSON next to the other results so
 future PRs (sharding, async, new devices) have a baseline to beat.
 
-The acceptance bar for the vectorized backend is >= 1.5x scalar sig/s;
-measured speedups are ~3x (address templates + shared midstates + the
-cross-batch subtree memo), so the assertion has generous headroom.
+Two acceptance bars:
+
+* the vectorized backend must be >= 1.5x scalar sig/s cold (measured
+  ~3x: address templates + shared midstates + the layer cache's
+  first-pass subtree reuse), and
+* the *warm* pass — the same batch signed again on the same backend,
+  so every hypertree subtree and upper-layer WOTS link signature comes
+  out of the per-key layer cache — must be >= 2x the cold vectorized
+  pass (the cache-effectiveness gate; measured higher).
 """
 
 import json
@@ -28,14 +34,25 @@ def test_scalar_vs_vectorized_64_batch(emit):
 
     result_scalar = scalar.sign_batch(messages, keys)
     result_vector = vectorized.sign_batch(messages, keys)
+    # Same instance, same batch: deterministic mode repeats idx_tree per
+    # message, so the second pass serves subtrees *and* link signatures
+    # from the warm layer cache — the steady-state number a service with
+    # repeat traffic actually sees.
+    result_warm = vectorized.sign_batch(messages, keys)
 
     # Same bytes, different speed — the whole point of the backend split.
     assert result_scalar.signatures == result_vector.signatures
+    assert result_scalar.signatures == result_warm.signatures
 
     ratio = result_vector.sigs_per_s / result_scalar.sigs_per_s
     assert ratio >= 1.5, (
         f"vectorized backend must be >= 1.5x scalar on a {BATCH}-message "
         f"batch, measured {ratio:.2f}x"
+    )
+    warm_ratio = result_warm.sigs_per_s / result_vector.sigs_per_s
+    assert warm_ratio >= 2.0, (
+        f"warm layer-cache pass must be >= 2x the cold vectorized pass "
+        f"on a {BATCH}-message batch, measured {warm_ratio:.2f}x"
     )
 
     record = {
@@ -55,6 +72,12 @@ def test_scalar_vs_vectorized_64_batch(emit):
                               in result_vector.stage_seconds.items()},
             "subtree_cache": result_vector.cache_stats,
         },
+        "warm": {
+            "elapsed_s": round(result_warm.elapsed_s, 4),
+            "sigs_per_s": round(result_warm.sigs_per_s, 4),
+            "speedup_vs_cold": round(warm_ratio, 4),
+            "cache": result_warm.cache_stats,
+        },
         "speedup": round(ratio, 4),
     }
     (json_baseline_dir() / "backend_throughput.json").write_text(
@@ -67,8 +90,11 @@ def test_scalar_vs_vectorized_64_batch(emit):
         [
             ["scalar", BATCH, round(result_scalar.elapsed_s, 2),
              round(result_scalar.sigs_per_s, 2), "1.00x"],
-            ["vectorized", BATCH, round(result_vector.elapsed_s, 2),
+            ["vectorized (cold)", BATCH, round(result_vector.elapsed_s, 2),
              round(result_vector.sigs_per_s, 2), f"{ratio:.2f}x"],
+            ["vectorized (warm)", BATCH, round(result_warm.elapsed_s, 2),
+             round(result_warm.sigs_per_s, 2),
+             f"{warm_ratio * ratio:.2f}x"],
         ],
         title=f"Backend throughput, {BATCH}-message batch, SPHINCS+-128f",
     ))

@@ -26,6 +26,67 @@ RATE = 40.0 if SMOKE else 10.0  # offered requests/second
 TARGET_BATCH = 4 if SMOKE else 8
 MAX_WAIT_S = 0.05
 
+# Steady-state phase: the same service with a hypertree layer cache and a
+# small repeat working set (heartbeats / re-attestations), measured at the
+# deadline-critical offered rate from the paper's service scenario.  A warm
+# sign costs milliseconds, so batching buys nothing at 10/s — the phase
+# runs with immediate dispatch and must land p50 under the 50 ms deadline.
+STEADY_MESSAGES = 16 if SMOKE else 48
+STEADY_RATE = 10.0          # offered requests/second, both modes
+WORKING_SET = 4             # distinct payloads cycled by the trace
+CACHE_BUDGET_MB = 32.0
+DEADLINE_MS = 50.0
+
+
+def _steady_state_phase():
+    """Warm-cache repeat traffic: prewarmed layer cache, tiny working set.
+
+    Returns the load report plus the in-process layer-cache counters so
+    the baseline records *why* the latency dropped (tree/link hits), not
+    just that it did.
+    """
+    service = SigningService(
+        Keystore(), backend="vectorized",
+        target_batch_size=1, max_wait_s=MAX_WAIT_S,
+        max_pending=4 * STEADY_MESSAGES, deterministic=True,
+        cache_budget_mb=CACHE_BUDGET_MB,
+    )
+    service.keystore.add_tenant("bench", "128f")
+    service.keystore.generate_key("bench", seed=derive_seed("bench", 16))
+    payloads = [f"attestation #{i}".encode() for i in range(WORKING_SET)]
+
+    async def scenario():
+        async def signer(message):
+            return await service.sign(message, "bench")
+
+        # Warm-up: one cold sign per working-set payload fills the LRU
+        # region (the pinned region was prewarmed at construction), so
+        # the measured trace is pure steady state.
+        for payload in payloads:
+            await signer(payload)
+
+        generator = LoadGenerator(
+            signer, message_factory=lambda i: payloads[i % WORKING_SET])
+        offsets = poisson_trace(STEADY_MESSAGES, rate=STEADY_RATE, seed=7)
+        try:
+            return await generator.run(offsets, trace="poisson")
+        finally:
+            await service.drain()
+            service.close()
+
+    report = asyncio.run(scenario())
+    assert report.signed == STEADY_MESSAGES, (
+        f"{report.shed} shed / {report.failed} failed of {STEADY_MESSAGES}"
+    )
+    # The acceptance gate: warm steady state must meet the deadline.
+    assert report.latency_ms(50) < DEADLINE_MS, (
+        f"steady-state p50 {report.latency_ms(50)} ms >= {DEADLINE_MS} ms"
+    )
+    scopes = service.stats().get("cache", {}).get("scopes", {})
+    cache = next(iter(scopes.values()), {})
+    return report, {key: cache.get(key, 0) for key in
+                    ("hits", "misses", "link_hits", "link_misses")}
+
 
 def test_service_poisson_latency(emit):
     service = SigningService(
@@ -56,6 +117,7 @@ def test_service_poisson_latency(emit):
     assert report.latency_ms(99) > 0
 
     stats = service.stats()
+    steady, steady_cache = _steady_state_phase()
     record = {
         "trace": "poisson",
         "params": "SPHINCS+-128f",
@@ -74,6 +136,21 @@ def test_service_poisson_latency(emit):
         "queue_wait_ms": stats["latency_ms"]["wait"],
         "batch_histogram": stats["batches"]["histogram"],
         "shed": report.shed,
+        "steady_state": {
+            "messages": STEADY_MESSAGES,
+            "offered_rate": STEADY_RATE,
+            "working_set": WORKING_SET,
+            "cache_budget_mb": CACHE_BUDGET_MB,
+            "target_batch_size": 1,
+            "deadline_ms": DEADLINE_MS,
+            "achieved_sigs_per_s": round(steady.achieved_rate, 4),
+            "latency_ms": {
+                "p50": steady.latency_ms(50),
+                "p95": steady.latency_ms(95),
+                "p99": steady.latency_ms(99),
+            },
+            "cache": steady_cache,
+        },
     }
     (json_baseline_dir() / "service_latency.json").write_text(
         json.dumps(record, indent=2) + "\n")
@@ -81,11 +158,16 @@ def test_service_poisson_latency(emit):
     from repro.analysis import format_table
 
     emit("service_latency", format_table(
-        ["trace", "msgs", "offered/s", "achieved/s", "p50 ms", "p95 ms",
-         "p99 ms", "batches"],
-        [["poisson", MESSAGES, RATE, round(report.achieved_rate, 2),
-          report.latency_ms(50), report.latency_ms(95),
-          report.latency_ms(99), stats["batches"]["dispatched"]]],
-        title=f"Service latency, Poisson arrivals, batch<={TARGET_BATCH}, "
-              f"deadline {MAX_WAIT_S * 1000:.0f} ms",
+        ["phase", "msgs", "offered/s", "achieved/s", "p50 ms", "p95 ms",
+         "p99 ms"],
+        [["cold / distinct", MESSAGES, RATE,
+          round(report.achieved_rate, 2), report.latency_ms(50),
+          report.latency_ms(95), report.latency_ms(99)],
+         ["warm / repeat", STEADY_MESSAGES, STEADY_RATE,
+          round(steady.achieved_rate, 2), steady.latency_ms(50),
+          steady.latency_ms(95), steady.latency_ms(99)]],
+        title=f"Service latency, Poisson arrivals, "
+              f"deadline {DEADLINE_MS:.0f} ms "
+              f"(cold batch<={TARGET_BATCH}; warm immediate dispatch, "
+              f"{CACHE_BUDGET_MB:.0f} MiB/key cache)",
     ))

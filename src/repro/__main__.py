@@ -200,9 +200,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .runtime import WorkerPool
 
         pool = WorkerPool(workers=args.workers, backend=backends[0],
-                          deterministic=args.deterministic)
+                          deterministic=args.deterministic,
+                          cache_budget_mb=args.cache_budget_mb)
         backend_options["pooled"] = {"pool": pool}
         backends = ["pooled"]
+    elif args.cache_budget_mb is not None:
+        # In-process tier: thread the budget into every cache-aware
+        # backend the run names (modeled backends ignore the knob).
+        for backend in backends:
+            if backend in ("scalar", "vectorized"):
+                backend_options.setdefault(backend, {})[
+                    "cache_budget_mb"] = args.cache_budget_mb
     scheduler = BatchScheduler(
         target_batch_size=args.batch_size or args.messages,
         deterministic=args.deterministic,
@@ -260,6 +268,7 @@ def _build_service(args: argparse.Namespace):
         max_pending=args.max_pending,
         deterministic=args.deterministic,
         workers=args.workers,
+        cache_budget_mb=args.cache_budget_mb,
     )
 
 
@@ -280,6 +289,9 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
                              "(0 = sign in-process)")
     parser.add_argument("--deterministic", action="store_true",
                         help="deterministic backends and tenant key seeds")
+    parser.add_argument("--cache-budget-mb", type=float, default=None,
+                        help="per-key hypertree layer-cache memory budget "
+                             "in MiB (default: model default, 32)")
 
 
 def _cmd_serve_async(args: argparse.Namespace) -> int:
@@ -300,6 +312,9 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         print(f"  batch size    : {config['target_batch_size']}, "
               f"max wait {config['max_wait_ms']} ms, "
               f"shed above {config['max_pending']} queued")
+        if config.get("cache_budget_mb") is not None:
+            print(f"  layer cache   : {config['cache_budget_mb']} MiB/key "
+                  "budget, tenant keys prewarmed")
         print("  protocol      : v2 (hello negotiation; verbs: sign, "
               "sign-many, verify, keys, stats, ping); v1 clients served "
               "unchanged; Ctrl-C to stop")
@@ -556,6 +571,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="run batches on a multi-process worker pool "
                               "of this size (0 = in-process)")
     p_serve.add_argument("--deterministic", action="store_true")
+    p_serve.add_argument("--cache-budget-mb", type=float, default=None,
+                         help="per-key hypertree layer-cache memory budget "
+                              "in MiB (default: model default, 32)")
     p_serve.add_argument("--verify", action="store_true",
                          help="verify every batch after signing")
     p_serve.set_defaults(func=_cmd_serve)

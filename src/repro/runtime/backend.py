@@ -112,6 +112,23 @@ class SigningBackend(abc.ABC):
         """Scalar convenience wrapper over :meth:`sign_batch`."""
         return self.sign_batch([message], keys).signatures[0]
 
+    # ------------------------------------------------------------------
+    # Layer-cache hooks — no-ops by default so callers (worker pool,
+    # service warm/invalidate paths) can drive every backend uniformly.
+    # ------------------------------------------------------------------
+    def prewarm_key(self, keys: KeyPair) -> None:
+        """Precompute per-key warm state (layer caches), if any."""
+
+    def invalidate_key(self, keys: KeyPair) -> None:
+        """Drop per-key cached state (key rotation / tenant delete)."""
+
+    def invalidate_all(self) -> None:
+        """Drop all per-key cached state."""
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate cache counters for telemetry; empty if uncached."""
+        return {}
+
     def verify_batch(self, messages: Sequence[bytes],
                      signatures: Sequence[bytes],
                      public_key: bytes) -> list[bool]:

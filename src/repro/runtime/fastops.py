@@ -9,8 +9,11 @@ This module removes that overhead without changing a single hash input:
   (``hashes.address``) — inner loops append one cached 4-byte word;
 * every hash is ``midstate.copy() -> update -> digest`` against the
   *shared* ``HashContext`` midstate cache;
-* Merkle subtrees are memoized in a :class:`SubtreeCache` — a batch signed
-  under one key revisits the upper hypertree layers for every message.
+* Merkle subtrees and upper-layer WOTS link signatures are held in a
+  per-key :class:`~repro.runtime.layercache.HypertreeLayerCache` — a
+  batch signed under one key revisits the upper hypertree layers for
+  every message, and at layers >= 1 the signed node (the child subtree
+  root) is message-independent, so the whole link signature is reusable.
 
 Because the byte stream fed to SHA-256 is identical to the scalar path's,
 :class:`FastOps` produces **byte-identical** signatures; the test suite
@@ -26,6 +29,7 @@ from ..sphincs.encoding import base_w, checksum_digits, message_to_indices
 from ..sphincs.fors import ForsSignature
 from ..sphincs.hypertree import HypertreeSignature
 from ..sphincs.merkle import SubtreeCache, TreeLevels, auth_path, batched_leaves
+from .layercache import HypertreeLayerCache
 
 __all__ = ["FastOps"]
 
@@ -36,17 +40,25 @@ class FastOps:
     """Low-overhead signing primitives for one (parameter set, key pair).
 
     Bound to the *sk_seed*/*pk_seed* of one key so address templates and
-    the subtree memo can be reused across every message of every batch
-    signed under that key.
+    the layer cache can be reused across every message of every batch
+    signed under that key.  *subtree_cache* accepts either the per-key
+    :class:`HypertreeLayerCache` (default) or a legacy
+    :class:`SubtreeCache` — both expose ``get_or_build``/``stats``; only
+    the layer cache adds the link-signature fast path and prewarm.
     """
 
     def __init__(self, ctx: HashContext, sk_seed: bytes, pk_seed: bytes,
-                 subtree_cache: SubtreeCache | None = None):
+                 subtree_cache: SubtreeCache | HypertreeLayerCache
+                 | None = None):
         self.params: SphincsParams = ctx.params
         self.n = ctx.n
         self.sk_seed = sk_seed
         self._mid = ctx.midstate(pk_seed)
-        self.cache = subtree_cache if subtree_cache is not None else SubtreeCache()
+        self.cache = (subtree_cache if subtree_cache is not None
+                      else HypertreeLayerCache(self.params))
+        self._links = (self.cache
+                       if isinstance(self.cache, HypertreeLayerCache)
+                       else None)
         # Word caches for the loop-varying ADRS words.
         self._chain_words = [packed_u32(i) for i in range(self.params.wots_len)]
         self._pos_words = [packed_u32(i) for i in range(self.params.w)]
@@ -149,20 +161,55 @@ class FastOps:
         node_prefix = AddressTemplate(layer, tree, AddressType.TREE, 0).prefix
         return self.merkle_levels(leaves, node_prefix)
 
+    def tree_node_hash(self, layer: int, tree: int, height: int,
+                       index: int, left: bytes, right: bytes) -> bytes:
+        """One XMSS internal node — same byte stream as ``merkle_levels``.
+
+        Exposed for targeted recomputation of cached-tree ancestors (the
+        fault injector's consistent-flip mode rebuilds a node's path to
+        the root after corrupting a leaf-level sibling).
+        """
+        h = self._mid.copy()
+        h.update(AddressTemplate(layer, tree, AddressType.TREE, 0).prefix)
+        h.update(packed_u32(height)); h.update(packed_u32(index))
+        h.update(left); h.update(right)
+        return h.digest()[:self.n]
+
     def root(self) -> bytes:
         """The SPHINCS+ public root (top-layer subtree root)."""
         return self.subtree_levels(self.params.d - 1, 0)[-1][0]
 
+    def prewarm(self) -> None:
+        """Precompute the cache's pinned layers (subtrees + links)."""
+        if self._links is not None:
+            self._links.prewarm(self._build_subtree, self.wots_sign_node)
+
+    def wots_sign_node(self, node: bytes, layer: int, tree: int,
+                       leaf: int) -> list[bytes]:
+        """WOTS-sign *node* with keypair *leaf* of subtree (layer, tree)."""
+        return self.wots_sign(node, layer, tree, leaf)
+
     def hypertree_sign(self, message: bytes, idx_tree: int,
                        idx_leaf: int) -> tuple[HypertreeSignature, bytes]:
-        """Sign along the hypertree path (see ``Hypertree.sign``)."""
+        """Sign along the hypertree path (see ``Hypertree.sign``).
+
+        At layers >= 1 the signed node is the child subtree root — fixed
+        per key — so the WOTS link signature is served from (and fed
+        back into) the layer cache when one is attached.
+        """
         params = self.params
+        links = self._links
         signature: HypertreeSignature = []
         node = message
         tree, leaf = idx_tree, idx_leaf
         for layer in range(params.d):
             levels = self.subtree_levels(layer, tree)
-            chain_values = self.wots_sign(node, layer, tree, leaf)
+            chain_values = (links.lookup_link(layer, tree, leaf)
+                            if links is not None and layer else None)
+            if chain_values is None:
+                chain_values = self.wots_sign(node, layer, tree, leaf)
+                if links is not None and layer:
+                    links.store_link(layer, tree, leaf, chain_values)
             signature.append((chain_values, auth_path(levels, leaf)))
             node = levels[-1][0]
             leaf = tree & (params.tree_leaves - 1)

@@ -4,9 +4,9 @@ The vectorized backend made one batch cheap; this module makes *many
 concurrent batches* scale with the machine.  :class:`WorkerPool` keeps N
 long-lived worker processes, each hosting a warm
 :class:`~repro.runtime.backend.SigningBackend` whose per-key caches
-(midstate templates, FastOps, the cross-batch subtree memo) survive from
-batch to batch — the whole point of long-lived workers over a throwaway
-``multiprocessing.Pool``.  Work is routed by a consistent-hash ring so
+(midstate templates, FastOps, the persistent hypertree layer cache)
+survive from batch to batch — the whole point of long-lived workers over
+a throwaway ``multiprocessing.Pool``.  Work is routed by a consistent-hash ring so
 batches for the same shard key land on the same worker and hit its warm
 caches; batches with no affinity go to the least-loaded worker, and very
 large batches can be split across every worker.
@@ -134,18 +134,31 @@ def _worker_main(worker_id: int, backend_name: str, deterministic: bool,
         if kind == "ping":
             outbox.put(("pong", worker_id, item[1]))
         elif kind == "warm":
-            # Preload a tenant key: build the backend and run keygen-level
-            # cache warming so the first real batch skips the cold start.
+            # Preload a tenant key: build the backend and prewarm its
+            # layer cache (pinned subtrees + link signatures) so the
+            # first real batch skips the cold start.
             _, params_name, key_fields = item
             try:
                 backend = backend_for(params_name)
-                warm = getattr(backend, "_ops", None)
-                if warm is not None:
-                    warm(KeyPair(*key_fields)).root()
-                outbox.put(("warmed", worker_id, params_name))
+                backend.prewarm_key(KeyPair(*key_fields))
+                outbox.put(("warmed", worker_id, params_name,
+                            dict(backend.cache_stats())))
             except Exception as exc:  # noqa: BLE001 — report, stay alive
                 outbox.put(("warm-error", worker_id,
                             f"{type(exc).__name__}: {exc}"))
+        elif kind == "invalidate":
+            # Drop cached per-key state (key rotation / tenant delete).
+            # key_fields None means "everything for every parameter set".
+            _, params_name, key_fields = item
+            targets = ([backends[params_name]]
+                       if params_name is not None and params_name in backends
+                       else list(backends.values()))
+            for backend in targets:
+                if key_fields is None:
+                    backend.invalidate_all()
+                else:
+                    backend.invalidate_key(KeyPair(*key_fields))
+            outbox.put(("invalidated", worker_id))
         elif kind == "crash":
             # Fault-injection hook (tests, chaos drills): die now, or on
             # receipt of the next sign job — i.e. mid-batch.
@@ -187,6 +200,9 @@ class WorkerStats:
     requeues: int = 0     # jobs moved OFF this slot after it died
     respawns: int = 0     # times this slot was restarted
     last_seen: float = 0.0  # monotonic time of the last message
+    #: Latest layer-cache snapshot the worker reported (cumulative
+    #: gauges, not per-batch deltas — always replaced, never summed).
+    cache: dict = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -245,13 +261,18 @@ class WorkerPool:
         (per-call ``timeout`` overrides it; ``None`` waits forever).
         Sized for the slowest legitimate batch, not for crash detection —
         crashes surface in milliseconds via the collector.
+    cache_budget_mb:
+        Per-key layer-cache budget each worker's inner backend gets
+        (merged into ``backend_options``; an explicit
+        ``backend_options["cache_budget_mb"]`` wins).
     """
 
     def __init__(self, workers: int = 2, backend: str = "vectorized",
                  deterministic: bool = False,
                  backend_options: dict | None = None,
                  max_retries: int = 2, replicas: int = 64,
-                 timeout_s: float | None = 600.0):
+                 timeout_s: float | None = 600.0,
+                 cache_budget_mb: float | None = None):
         if workers < 1:
             raise BackendError(f"workers must be >= 1, got {workers}")
         if max_retries < 0:
@@ -286,6 +307,9 @@ class WorkerPool:
         self.backend_name = backend
         self.deterministic = deterministic
         self.backend_options = dict(backend_options or {})
+        if cache_budget_mb is not None:
+            self.backend_options.setdefault("cache_budget_mb",
+                                            cache_budget_mb)
         self.max_retries = max_retries
         self.timeout_s = timeout_s
         self.ring = HashRing(workers, replicas=replicas)
@@ -303,6 +327,9 @@ class WorkerPool:
         # Jobs whose caller gave up (result() timeout): their eventual
         # result is discarded instead of parking in _results forever.
         self._abandoned: set[int] = set()
+        # Keys warmed per slot, replayed after a respawn so a recovered
+        # worker comes back with the same prewarmed caches it died with.
+        self._warm_by_slot: dict[int, dict[tuple, None]] = {}
         self._closing = False
         for slot in range(workers):
             self._spawn(slot)
@@ -471,10 +498,15 @@ class WorkerPool:
         outcomes = [self.result(job_id, timeout=timeout) for job_id in jobs]
         signatures = [sig for outcome in outcomes
                       for sig in outcome.signatures]
+        # Worker cache stats are cumulative gauges; configuration keys
+        # must not be summed across shards (they'd multiply by N).
         cache_stats: dict[str, int] = {}
         for outcome in outcomes:
             for key, value in outcome.cache_stats.items():
-                cache_stats[key] = cache_stats.get(key, 0) + value
+                if key in ("pinned_layers", "budget_bytes"):
+                    cache_stats[key] = max(cache_stats.get(key, 0), value)
+                else:
+                    cache_stats[key] = cache_stats.get(key, 0) + value
         return PoolSignOutcome(
             signatures=signatures,
             workers=tuple(w for outcome in outcomes
@@ -528,8 +560,35 @@ class WorkerPool:
         # worker just pays the cold start on its first batch).
         with self._cond:
             for slot in targets:
+                self._warm_by_slot.setdefault(slot, {})[
+                    (params_name, key_fields)] = None
                 try:
                     self._inboxes[slot].put(("warm", params_name,
+                                             key_fields))
+                except (ValueError, OSError):
+                    pass
+
+    def invalidate(self, keys: KeyPair | None = None,
+                   params: SphincsParams | str | None = None) -> None:
+        """Drop cached state for *keys* (or everything) on every worker.
+
+        Called on key rotation / tenant delete so no worker keeps signing
+        off subtrees of a retired key.  Also forgets the matching warm
+        registrations, so a later respawn does not resurrect the cache.
+        """
+        params_name = (params if isinstance(params, str) or params is None
+                       else params.name)
+        key_fields = (None if keys is None else
+                      (keys.sk_seed, keys.sk_prf, keys.pk_seed,
+                       keys.pk_root))
+        with self._cond:
+            for warmed in self._warm_by_slot.values():
+                for entry in list(warmed):
+                    if key_fields is None or entry[1] == key_fields:
+                        warmed.pop(entry, None)
+            for slot in range(self.workers):
+                try:
+                    self._inboxes[slot].put(("invalidate", params_name,
                                              key_fields))
                 except (ValueError, OSError):
                     pass
@@ -574,6 +633,7 @@ class WorkerPool:
                 "requeues": stats.requeues,
                 "respawns": stats.respawns,
                 "last_seen_s": round(now - stats.last_seen, 3),
+                "cache": dict(stats.cache),
             }
         return {
             "workers": self.workers,
@@ -659,6 +719,8 @@ class WorkerPool:
                 stats.completed += 1
                 stats.signed += len(signatures)
                 stats.busy_s += busy_s
+                if cache_stats:
+                    stats.cache = dict(cache_stats)
                 if self._discard_if_abandoned(job_id):
                     return
                 self._results[job_id] = ("ok", PoolSignOutcome(
@@ -683,6 +745,10 @@ class WorkerPool:
                 self._cond.notify_all()
         elif kind == "warmed":
             stats.warms += 1
+            if len(message) > 3 and message[3]:
+                stats.cache = dict(message[3])
+        elif kind == "invalidated":
+            pass  # last_seen refresh above is the useful part
         elif kind == "warm-error":
             # A failed preload is not fatal (the first real batch will
             # surface the same error, typed), but it must be visible:
@@ -726,6 +792,17 @@ class WorkerPool:
                 self._procs[slot] = None
             else:
                 self.stats_by_worker[slot].respawns += 1
+                self.stats_by_worker[slot].cache = {}
+                # Replay the slot's warm registrations so the respawned
+                # worker rebuilds the prewarmed caches it died with
+                # before any requeued/new batch reaches it.
+                for params_name, key_fields in self._warm_by_slot.get(
+                        slot, {}):
+                    try:
+                        self._inboxes[slot].put(("warm", params_name,
+                                                 key_fields))
+                    except (ValueError, OSError):
+                        pass
             for channel in old_channels:
                 try:
                     channel.cancel_join_thread()
@@ -858,6 +935,32 @@ class PooledBackend(SigningBackend):
             **outcome.cache_stats,
         }
         return result
+
+    # ------------------------------------------------------------------
+    # Layer-cache hooks: forwarded to the workers.
+    # ------------------------------------------------------------------
+    def prewarm_key(self, keys: KeyPair) -> None:
+        """Prewarm *keys* on its shard owner (same routing as signing)."""
+        self.pool.warm(keys, self.params.name,
+                       shard_key=keys.pk_seed.hex())
+
+    def invalidate_key(self, keys: KeyPair) -> None:
+        self.pool.invalidate(keys, self.params.name)
+
+    def invalidate_all(self) -> None:
+        self.pool.invalidate(None, self.params.name)
+
+    def cache_stats(self) -> dict[str, int]:
+        """Merge the latest per-worker snapshots (sum counters, keep
+        per-worker-invariant configuration keys at their max)."""
+        totals: dict[str, int] = {}
+        for stats in self.pool.stats_by_worker:
+            for field_, value in stats.cache.items():
+                if field_ in ("pinned_layers", "budget_bytes"):
+                    totals[field_] = max(totals.get(field_, 0), value)
+                else:
+                    totals[field_] = totals.get(field_, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -2,11 +2,12 @@
 
 Same hashes, far less interpreter overhead.  One shared
 :class:`HashContext` midstate cache feeds every stage; addresses come from
-precomputed templates (:mod:`repro.runtime.fastops`); Merkle subtrees are
-memoized across the whole batch — the upper hypertree layers are shared by
-construction, so a 64-message batch rebuilds only the (mostly distinct)
-bottom trees.  An optional multiprocessing shard pool splits very large
-batches across cores.
+precomputed templates (:mod:`repro.runtime.fastops`); Merkle subtrees and
+upper-layer WOTS link signatures persist in a per-key
+:class:`~repro.runtime.layercache.HypertreeLayerCache` — the upper
+hypertree layers are shared by construction, so a warm key recomputes
+only the message-dependent bottom of each path.  An optional
+multiprocessing shard pool splits very large batches across cores.
 
 Signatures are byte-identical to the scalar backend in deterministic mode
 (pinned by ``tests/runtime``) because every SHA-256 input is unchanged —
@@ -22,10 +23,11 @@ from typing import Sequence
 from ..errors import BackendError
 from ..hashes.thash import HashContext
 from ..params import SphincsParams
-from ..sphincs.merkle import SubtreeCache
 from ..sphincs.signer import KeyPair
 from .backend import BackendCapabilities, BatchSignResult, SigningBackend
 from .fastops import FastOps
+from .layercache import (DEFAULT_BUDGET_MB, HypertreeLayerCache,
+                         budget_for_entries)
 
 __all__ = ["VectorizedBackend"]
 
@@ -47,21 +49,36 @@ class VectorizedBackend(SigningBackend):
         across a ``multiprocessing`` pool of this many worker processes.
         Default 0 (in-process); per-stage timings and cache statistics are
         only available in-process.
+    cache_budget_mb:
+        Per-key layer-cache byte budget (pinned top layers + LRU working
+        set, sized by :mod:`repro.runtime.layercache`).  Default
+        ``DEFAULT_BUDGET_MB``.
     subtree_cache_size:
-        Max memoized XMSS subtrees per key (each is ``2 * tree_leaves - 1``
-        hashes of storage).
+        Deprecated raw-entry-count knob; mapped onto the byte-budget
+        model (``entries * tree_entry_bytes``) when *cache_budget_mb* is
+        not given.
     """
 
     name = "vectorized"
 
     def __init__(self, params: SphincsParams | str,
                  deterministic: bool = False, shards: int = 0,
-                 subtree_cache_size: int = 512):
+                 cache_budget_mb: float | None = None,
+                 subtree_cache_size: int | None = None):
         super().__init__(params, deterministic=deterministic)
         if shards < 0:
             raise BackendError(f"shards must be >= 0, got {shards}")
         self.shards = shards
-        self._subtree_cache_size = subtree_cache_size
+        if cache_budget_mb is not None:
+            if cache_budget_mb <= 0:
+                raise BackendError(
+                    f"cache_budget_mb must be > 0, got {cache_budget_mb}")
+            self._budget_bytes = int(cache_budget_mb * 1024 * 1024)
+        elif subtree_cache_size is not None:
+            self._budget_bytes = budget_for_entries(self.params,
+                                                    subtree_cache_size)
+        else:
+            self._budget_bytes = int(DEFAULT_BUDGET_MB * 1024 * 1024)
         self.ctx: HashContext = self._scheme.ctx  # shared midstate cache
         self._fastops: dict[tuple[bytes, bytes], FastOps] = {}
 
@@ -73,7 +90,7 @@ class VectorizedBackend(SigningBackend):
             vectorized=True,
             deterministic=self.deterministic,
             preferred_batch=64,
-            notes="address templates + shared midstates + subtree memo"
+            notes="address templates + shared midstates + per-key layer cache"
             + (f", {self.shards}-process shard pool" if self.shards > 1 else ""),
         )
 
@@ -84,9 +101,33 @@ class VectorizedBackend(SigningBackend):
             if len(self._fastops) >= 8:  # a service signs under few keys
                 self._fastops.pop(next(iter(self._fastops)))
             ops = FastOps(self.ctx, keys.sk_seed, keys.pk_seed,
-                          SubtreeCache(self._subtree_cache_size))
+                          HypertreeLayerCache(self.params,
+                                              self._budget_bytes))
             self._fastops[key] = ops
         return ops
+
+    # ------------------------------------------------------------------
+    def prewarm_key(self, keys: KeyPair) -> None:
+        """Precompute the pinned cache layers for *keys*."""
+        self._ops(keys).prewarm()
+
+    def invalidate_key(self, keys: KeyPair) -> None:
+        """Drop all cached state for *keys* (rotation / tenant delete)."""
+        self._fastops.pop((keys.sk_seed, keys.pk_seed), None)
+
+    def invalidate_all(self) -> None:
+        self._fastops.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Aggregate layer-cache counters across every resident key."""
+        totals: dict[str, int] = {"keys": len(self._fastops)}
+        for ops in self._fastops.values():
+            for field, value in ops.cache.stats.items():
+                if field in ("pinned_layers", "budget_bytes"):
+                    totals[field] = max(totals.get(field, 0), value)
+                else:
+                    totals[field] = totals.get(field, 0) + value
+        return totals
 
     # ------------------------------------------------------------------
     def hash_context(self) -> HashContext:

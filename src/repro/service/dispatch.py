@@ -5,7 +5,7 @@ uses instead of an in-process backend when a
 :class:`~repro.runtime.pool.WorkerPool` is attached.  It consistent-hashes
 each ``(tenant, key)`` queue onto one worker slot, so a tenant's repeat
 traffic always lands on the worker whose caches (FastOps templates, the
-cross-batch subtree memo) are already warm for its key — and different
+per-key hypertree layer cache) are already warm for its key — and different
 tenants' batches land on *different* workers and sign concurrently, which
 is where the multi-core throughput comes from.
 
@@ -71,8 +71,14 @@ class ShardedDispatcher:
 
     def warm(self, tenant: str, key_name: str, keys: KeyPair,
              params: str) -> None:
-        """Preload the tenant's key caches on its home worker."""
+        """Prewarm the tenant's key layer cache on its home worker."""
         self.pool.warm(keys, params, worker=self.route(tenant, key_name))
+
+    def invalidate(self, keys: KeyPair, params: str | None = None) -> None:
+        """Drop the key's cached state on every worker (rotation path —
+        crash recovery may have signed for it on any slot, so the home
+        worker alone is not enough)."""
+        self.pool.invalidate(keys, params)
 
     # ------------------------------------------------------------------
     async def sign_batch(self, tenant: str, key_name: str,

@@ -27,6 +27,7 @@ import os
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..errors import KeystoreError
 from ..params import get_params
@@ -69,6 +70,14 @@ class Keystore:
     def __init__(self, root: str | Path | None = None):
         self.root = Path(root) if root is not None else None
         self._tenants: dict[str, TenantRecord] = {}
+        # Key-lifecycle listeners: fn(event, tenant, key_name, old_keys).
+        # Events: "key-rotated" (old_keys = the retired pair) and
+        # "tenant-deleted" (fired once per key the tenant held).  The
+        # signing service subscribes to invalidate every tier's layer
+        # caches — stale cached subtrees of a retired key must never
+        # produce another signature.
+        self._listeners: list[Callable[[str, str, str | None,
+                                        KeyPair | None], None]] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             # Quarantine *every* corrupt tenant file in one pass (not just
@@ -135,6 +144,57 @@ class Keystore:
         record.keys[key_name] = keys
         self._save(record)
         return keys
+
+    def rotate_key(self, tenant: str, key_name: str = "default",
+                   seed: bytes | None = None) -> KeyPair:
+        """Replace an existing named key with a freshly generated pair.
+
+        The old pair is retired immediately: the new key is persisted
+        first, then every listener is told ``("key-rotated", tenant,
+        key_name, old_keys)`` so caches built for the old key are
+        dropped before any further signing.
+        """
+        record = self._record(tenant)
+        old_keys = record.keys.get(key_name)
+        if old_keys is None:
+            known = ", ".join(sorted(record.keys)) or "<none>"
+            raise KeystoreError(
+                f"cannot rotate: tenant {tenant!r} has no key "
+                f"{key_name!r} (keys: {known})"
+            )
+        new_keys = Sphincs(record.params).keygen(seed=seed)
+        record.keys[key_name] = new_keys
+        self._save(record)
+        self._notify("key-rotated", tenant, key_name, old_keys)
+        return new_keys
+
+    def delete_tenant(self, name: str) -> None:
+        """Remove a tenant, its keys, and its on-disk file.
+
+        Listeners get one ``("tenant-deleted", name, key_name,
+        old_keys)`` event per key the tenant held, so per-key caches can
+        be invalidated individually.
+        """
+        record = self._record(name)
+        del self._tenants[name]
+        if self.root is not None:
+            path = self.root / f"{record.name}.json"
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        for key_name, old_keys in sorted(record.keys.items()):
+            self._notify("tenant-deleted", name, key_name, old_keys)
+
+    def add_listener(self, listener: Callable[
+            [str, str, str | None, KeyPair | None], None]) -> None:
+        """Subscribe to key-lifecycle events (rotation, tenant delete)."""
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, tenant: str, key_name: str | None,
+                old_keys: KeyPair | None) -> None:
+        for listener in self._listeners:
+            listener(event, tenant, key_name, old_keys)
 
     def resolve(self, tenant: str, key_name: str = "default"
                 ) -> tuple[KeyPair, str]:

@@ -79,7 +79,8 @@ class SigningService:
                  backend_options: dict[str, dict] | None = None,
                  telemetry: Telemetry | None = None,
                  workers: int = 0,
-                 pool: WorkerPool | None = None):
+                 pool: WorkerPool | None = None,
+                 cache_budget_mb: float | None = None):
         if max_pending < 1:
             raise ServiceError(
                 f"max_pending must be >= 1, got {max_pending}"
@@ -91,6 +92,7 @@ class SigningService:
         self.max_pending = max_pending
         self.deterministic = deterministic
         self.backend_options = backend_options or {}
+        self.cache_budget_mb = cache_budget_mb
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.batcher = DeadlineBatcher(
             self._dispatch, target_batch_size=target_batch_size,
@@ -105,23 +107,73 @@ class SigningService:
         self.pool = pool if pool is not None else (
             WorkerPool(workers=workers, backend=backend,
                        deterministic=deterministic,
-                       backend_options=self.backend_options.get(backend, {}))
+                       backend_options=self.backend_options.get(backend, {}),
+                       cache_budget_mb=cache_budget_mb)
             if workers > 0 else None)
         self.dispatcher = (ShardedDispatcher(self.pool)
                            if self.pool is not None else None)
         if self.dispatcher is not None:
             self.telemetry.set_pool_provider(self.dispatcher.stats)
             self._preload_tenant_keys()
+        self.telemetry.set_cache_provider(self._cache_snapshot)
+        # Key rotation / tenant delete must reach every tier's layer
+        # cache — a retired key's cached subtrees must never sign again.
+        add_listener = getattr(self.keystore, "add_listener", None)
+        if add_listener is not None:
+            add_listener(self._on_key_event)
 
     def _preload_tenant_keys(self) -> None:
-        """Warm every known tenant key on its home worker, so the first
-        real batch for a tenant skips the cold FastOps/subtree build."""
+        """Prewarm every known tenant key on its home worker, so the
+        first real batch for a tenant skips the cold layer-cache build."""
         assert self.dispatcher is not None
         for tenant in self.keystore.tenants():
             params = self.keystore.params_for(tenant)
             for key_name in self.keystore.key_names(tenant):
                 keys, _ = self.keystore.resolve(tenant, key_name)
                 self.dispatcher.warm(tenant, key_name, keys, params)
+
+    def _on_key_event(self, event: str, tenant: str,
+                      key_name: str | None, old_keys) -> None:
+        """Keystore listener: invalidate (and re-prewarm) on key change."""
+        if old_keys is not None:
+            if self.pool is not None:
+                self.pool.invalidate(old_keys)
+            for backend in self._backends.values():
+                backend.invalidate_key(old_keys)
+        if event == "key-rotated" and key_name is not None:
+            keys, params = self.keystore.resolve(tenant, key_name)
+            if self.dispatcher is not None:
+                self.dispatcher.warm(tenant, key_name, keys, params)
+            elif self.cache_budget_mb is not None:
+                backend = self._backends.get(params)
+                if backend is not None:
+                    backend.prewarm_key(keys)
+
+    def _cache_snapshot(self) -> dict:
+        """Layer-cache stats across tiers (the snapshot's ``cache``
+        section): one scope per in-process backend, one merged scope for
+        the worker pool's latest per-worker reports."""
+        scopes: dict[str, dict] = {}
+        for params_name, backend in sorted(self._backends.items()):
+            stats = backend.cache_stats()
+            if stats:
+                scopes[f"in-process {params_name}"] = stats
+        if self.pool is not None:
+            totals: dict[str, int] = {}
+            for worker_stats in self.pool.stats_by_worker:
+                for key, value in worker_stats.cache.items():
+                    if key in ("pinned_layers", "budget_bytes"):
+                        totals[key] = max(totals.get(key, 0), value)
+                    else:
+                        totals[key] = totals.get(key, 0) + value
+            if totals:
+                scopes["workers"] = totals
+        if not scopes:
+            return {}
+        snapshot: dict = {"scopes": scopes}
+        if self.cache_budget_mb is not None:
+            snapshot["budget_mb"] = self.cache_budget_mb
+        return snapshot
 
     # ------------------------------------------------------------------
     # In-process client API
@@ -184,15 +236,33 @@ class SigningService:
     # ------------------------------------------------------------------
     # Dispatch (called by the batcher)
     # ------------------------------------------------------------------
+    #: Backends whose constructor takes the shared ``cache_budget_mb``
+    #: knob (the modeled backend has no layer cache to size).
+    _CACHE_AWARE = ("scalar", "vectorized", "pooled")
+
     def _backend_for(self, params_name: str) -> SigningBackend:
         instance = self._backends.get(params_name)
         if instance is None:
+            options = dict(self.backend_options.get(self.backend_name, {}))
+            if (self.cache_budget_mb is not None
+                    and self.backend_name in self._CACHE_AWARE):
+                options.setdefault("cache_budget_mb", self.cache_budget_mb)
             instance = get_backend(
                 self.backend_name, params_name,
                 deterministic=self.deterministic,
-                **self.backend_options.get(self.backend_name, {}),
+                **options,
             )
             self._backends[params_name] = instance
+            if self.cache_budget_mb is not None:
+                # Explicit budget = the operator opted into warm caches:
+                # prewarm this parameter set's tenant keys now so the
+                # first batch already runs the fast path.
+                for tenant in self.keystore.tenants():
+                    if self.keystore.params_for(tenant) != params_name:
+                        continue
+                    for key_name in self.keystore.key_names(tenant):
+                        keys, _ = self.keystore.resolve(tenant, key_name)
+                        instance.prewarm_key(keys)
         return instance
 
     async def _dispatch(self, queue_key: QueueKey,
@@ -263,6 +333,7 @@ class SigningService:
             "target_batch_size": self.batcher.target_batch_size,
             "max_wait_ms": round(self.batcher.max_wait_s * 1000.0, 3),
             "max_pending": self.max_pending,
+            "cache_budget_mb": self.cache_budget_mb,
             "tenants": {name: self.keystore.params_for(name)
                         for name in self.keystore.tenants()},
         }

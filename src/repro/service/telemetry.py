@@ -62,6 +62,7 @@ class Telemetry:
         self._total_ms: deque[float] = deque(maxlen=latency_window)
         self._wait_ms: deque[float] = deque(maxlen=latency_window)
         self._pool_provider: Callable[[], dict] | None = None
+        self._cache_provider: Callable[[], dict] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -105,6 +106,13 @@ class Telemetry:
         service dashboard."""
         self._pool_provider = provider
 
+    def set_cache_provider(self, provider: Callable[[], dict] | None) -> None:
+        """Attach a layer-cache stats source (the signing service's
+        aggregate over its in-process backends and worker snapshots).
+        When set, every snapshot carries a ``cache`` section with
+        hit/miss/evict/bytes counters per scope."""
+        self._cache_provider = provider
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -125,6 +133,10 @@ class Telemetry:
         snapshot = self._base_snapshot()
         if self._pool_provider is not None:
             snapshot["pool"] = self._pool_provider()
+        if self._cache_provider is not None:
+            cache = self._cache_provider()
+            if cache:
+                snapshot["cache"] = cache
         return snapshot
 
     def _base_snapshot(self) -> dict:
@@ -200,6 +212,22 @@ def render_snapshot(snapshot: dict, title: str = "Signing service telemetry") ->
                    f"{pool.get('requeues', 0)} requeues, "
                    f"{pool.get('respawns', 0)} respawns)"),
         ))
+        worker_caches = [(slot, w.get("cache", {}))
+                         for slot, w in sorted(per_worker.items(),
+                                               key=lambda item: int(item[0]))
+                         if w.get("cache")]
+        if worker_caches:
+            sections.append(format_table(
+                ["worker", "tree hits", "tree misses", "link hits",
+                 "link misses", "evictions", "KiB", "pinned layers"],
+                [[slot, c.get("hits", 0), c.get("misses", 0),
+                  c.get("link_hits", 0), c.get("link_misses", 0),
+                  c.get("evictions", 0),
+                  round(c.get("bytes", 0) / 1024, 1),
+                  c.get("pinned_layers", 0)]
+                 for slot, c in worker_caches],
+                title="Per-worker layer caches (latest snapshots)",
+            ))
         routes = pool.get("routes", {})
         if routes:
             sections.append(format_table(
@@ -209,6 +237,22 @@ def render_snapshot(snapshot: dict, title: str = "Signing service telemetry") ->
                  for route, entry in sorted(routes.items())],
                 title="Shard routing (consistent hash)",
             ))
+
+    cache = snapshot.get("cache")
+    if cache:
+        scopes = cache.get("scopes", {})
+        budget = cache.get("budget_mb")
+        sections.append(format_table(
+            ["cache scope", "tree hits", "tree misses", "link hits",
+             "link misses", "evictions", "KiB", "pinned layers"],
+            [[scope, c.get("hits", 0), c.get("misses", 0),
+              c.get("link_hits", 0), c.get("link_misses", 0),
+              c.get("evictions", 0), round(c.get("bytes", 0) / 1024, 1),
+              c.get("pinned_layers", 0)]
+             for scope, c in sorted(scopes.items())],
+            title="Hypertree layer caches"
+            + (f" (budget {budget} MB/key)" if budget else ""),
+        ))
 
     queue = snapshot.get("queue", {})
     depth = (f"queue depth: {queue['depth']} now, "

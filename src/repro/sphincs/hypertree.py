@@ -84,20 +84,42 @@ class Hypertree:
         return (chain_values, auth_path(levels, leaf)), levels[-1][0]
 
     def sign(self, message: bytes, sk_seed: bytes, pk_seed: bytes,
-             idx_tree: int, idx_leaf: int) -> tuple[HypertreeSignature, bytes]:
+             idx_tree: int, idx_leaf: int,
+             cache=None) -> tuple[HypertreeSignature, bytes]:
         """Sign *message* (the FORS pk) along the hypertree path.
 
         Returns the d-layer signature and the recomputed top root (callers
         may compare it against the public key as a self-check).
+
+        *cache* is an optional per-key
+        :class:`~repro.runtime.layercache.HypertreeLayerCache`: cached
+        subtrees skip the rebuild, and at layers >= 1 — where the signed
+        node is the (message-independent) child subtree root — a cached
+        WOTS link signature skips the chain walk entirely.
         """
         params = self.params
         signature: HypertreeSignature = []
         node = message
         tree, leaf = idx_tree, idx_leaf
         for layer in range(params.d):
-            xmss_sig, node = self.layer_stage(
-                node, sk_seed, pk_seed, layer, tree, leaf
-            )
+            levels = cache.lookup_tree(layer, tree) if cache is not None \
+                else None
+            chain_values = (cache.lookup_link(layer, tree, leaf)
+                            if cache is not None and layer else None)
+            if levels is None:
+                levels = self.subtree_levels(sk_seed, pk_seed, layer, tree)
+                if cache is not None:
+                    cache.store_tree(layer, tree, levels)
+            if chain_values is not None:
+                xmss_sig: XmssSignature = (chain_values,
+                                           auth_path(levels, leaf))
+                node = levels[-1][0]
+            else:
+                xmss_sig, node = self.layer_stage(
+                    node, sk_seed, pk_seed, layer, tree, leaf, levels=levels
+                )
+                if cache is not None and layer:
+                    cache.store_link(layer, tree, leaf, xmss_sig[0])
             signature.append(xmss_sig)
             # Walk up: the low tree_height bits of `tree` select the next
             # leaf, the rest the next tree (paper Figure 2's index update).

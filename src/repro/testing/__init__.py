@@ -25,7 +25,7 @@ CLI entry point: ``python -m repro conformance`` (see the README's
 from .chaos import FlakyProxy
 from .corpus import (corrupt_keystore_payloads, malformed_frames,
                      message_corpus)
-from .faults import BitFlipFault, flip_bit, parse_fault
+from .faults import BitFlipFault, CachedNodeFault, flip_bit, parse_fault
 from .kat import (KAT_SETS, check_kat, default_vectors_dir, generate_kat,
                   kat_corpus, load_kat)
 from .oracle import (ConformanceReport, DifferentialOracle, Divergence,
@@ -34,6 +34,7 @@ from .tracing import TraceHop, TraceRecorder, capture_trace, first_divergence
 
 __all__ = [
     "BitFlipFault",
+    "CachedNodeFault",
     "ConformanceReport",
     "DifferentialOracle",
     "Divergence",

@@ -17,12 +17,25 @@ index, same bit, same traffic — is what lets the oracle pin the resulting
 divergence to a stage and lets CI replay the exact same fault on every
 push.
 
+:class:`CachedNodeFault` extends the threat model to the hypertree layer
+cache: it corrupts one node *inside a cached subtree* between two signing
+passes.  A naive flip leaves the auth path inconsistent with the root, so
+verification fails — detectable.  The dangerous variant (``consistent``,
+the default) also recomputes the flipped node's ancestors, producing a
+subtree that is internally consistent but *wrong*: the signer happily
+emits a signature that still **verifies**, yet differs byte-for-byte from
+the reference — exactly the fault-attack class only a differential oracle
+catches.
+
 Fault specs are parsed from strings so the CLI can take them directly::
 
     thash:bitflip            # defaults: call 7, bit 0
     thash:bitflip:120        # flip a bit of thash call #120
     thash:bitflip:120:5      # ... bit 5 of its output
     prf:bitflip:3            # flip the 4th PRF output instead
+    cache:flip               # consistent flip in a cached subtree
+    cache:flip:0:3           # ... level 0, bit 3
+    cache:flip:0:0:benign    # naive flip (auth path breaks, verify fails)
 """
 
 from __future__ import annotations
@@ -33,7 +46,7 @@ from dataclasses import dataclass, field
 from ..errors import ConformanceError
 from ..hashes.thash import HashContext
 
-__all__ = ["BitFlipFault", "flip_bit", "parse_fault"]
+__all__ = ["BitFlipFault", "CachedNodeFault", "flip_bit", "parse_fault"]
 
 _TARGETS = ("thash", "prf")
 
@@ -121,13 +134,147 @@ class BitFlipFault:
             del ctx.__dict__[self.target]
 
 
-def parse_fault(spec: str) -> BitFlipFault:
-    """Parse a ``target:bitflip[:call_index[:bit]]`` fault spec."""
+@dataclass
+class CachedNodeFault:
+    """Flip one bit of one node inside a cached hypertree subtree.
+
+    Models a memory fault (rowhammer, cosmic ray, hostile DMA) hitting
+    the layer cache *after* it was built and validated.  Applied between
+    two signing passes over the same traffic, so the divergence is
+    provably the cached state and nothing else.
+
+    Parameters
+    ----------
+    level:
+        Subtree level of the corrupted node (0 = WOTS leaves).  The node
+        chosen is the *sibling* on the signing leaf's auth path, so the
+        flip provably lands in emitted signature bytes.
+    bit:
+        Bit of the n-byte node value to flip.
+    layer_from_top:
+        How far below the top hypertree layer to strike (>= 1; the top
+        tree's root is pinned in the public key, so corrupting it raises
+        a root mismatch instead of diverging silently).
+    consistent:
+        When true (default), recompute the flipped node's ancestors so
+        the subtree stays internally consistent — the resulting signature
+        still *verifies* but is wrong (the attack class only the
+        differential oracle catches).  When false, leave the ancestors
+        stale: the auth path no longer reaches the root and verification
+        fails (the benign, self-detecting outcome).
+    """
+
+    level: int = 0
+    bit: int = 0
+    layer_from_top: int = 1
+    consistent: bool = True
+    #: Entry point tapped — mirrors BitFlipFault for CLI diagnostics.
+    target: str = field(default="cache", init=False)
+    #: How many cache strikes the fault has performed.
+    calls_seen: int = field(default=0, init=False)
+    #: Whether the fault actually fired (a cached subtree was corrupted).
+    fired: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ConformanceError(f"level must be >= 0, got {self.level}")
+        if self.layer_from_top < 1:
+            raise ConformanceError(
+                "layer_from_top must be >= 1: the top tree's root is "
+                "pinned in the public key, a flip there cannot diverge "
+                "silently"
+            )
+
+    @property
+    def spec(self) -> str:
+        base = f"cache:flip:{self.level}:{self.bit}"
+        return base if self.consistent else base + ":benign"
+
+    def apply(self, ops, idx_tree: int) -> str:
+        """Corrupt the cached subtree that signing *idx_tree* traverses.
+
+        *ops* is the backend's per-key :class:`~.runtime.fastops.FastOps`
+        instance; its layer cache holds (or will hold) the target
+        subtree.  Returns a human-readable detail string for the report.
+        """
+        params = ops.params
+        th = params.tree_height
+        layer = params.d - 1 - self.layer_from_top
+        if layer < 0:
+            raise ConformanceError(
+                f"layer_from_top {self.layer_from_top} exceeds hypertree "
+                f"depth d={params.d}"
+            )
+        if self.level >= th:
+            raise ConformanceError(
+                f"level {self.level} out of range for tree_height {th}"
+            )
+        tree = idx_tree >> (th * layer)
+        leaf = ((idx_tree >> (th * (layer - 1))) & (params.tree_leaves - 1)
+                if layer else idx_tree & (params.tree_leaves - 1))
+        # Build-or-fetch the cached subtree, then mutate it in place —
+        # the next signing pass serves the corrupted copy.
+        levels = ops.subtree_levels(layer, tree)
+        sibling = (leaf >> self.level) ^ 1
+        levels[self.level][sibling] = flip_bit(
+            levels[self.level][sibling], self.bit)
+        if self.consistent:
+            # Recompute the ancestors along the leaf's path so the tree
+            # is self-consistent again (with a different root).
+            for height in range(self.level + 1, th + 1):
+                index = leaf >> height
+                left = levels[height - 1][2 * index]
+                right = levels[height - 1][2 * index + 1]
+                levels[height][index] = ops.tree_node_hash(
+                    layer, tree, height, index, left, right)
+            # The parent layer's cached WOTS link signs the *old* root;
+            # drop it so the signer re-signs the corrupted root (a fresh
+            # link that verifies) instead of failing on a stale one.
+            drop_link = getattr(ops.cache, "drop_link", None)
+            if drop_link is not None:
+                drop_link(layer + 1, tree >> th,
+                          tree & (params.tree_leaves - 1))
+        self.calls_seen += 1
+        self.fired = True
+        mode = ("ancestors recomputed, still verifies"
+                if self.consistent else "auth path left stale")
+        return (f"flipped bit {self.bit} of cached node "
+                f"level {self.level} index {sibling} in subtree "
+                f"(layer {layer}, tree {tree}); {mode}")
+
+
+def _parse_cache_fault(spec: str, parts: list[str]) -> CachedNodeFault:
+    """Parse ``cache:flip[:level[:bit]][:benign]``."""
+    fields = parts[2:]
+    consistent = True
+    if fields and fields[-1] == "benign":
+        consistent = False
+        fields = fields[:-1]
+    kwargs: dict[str, int] = {}
+    try:
+        if len(fields) >= 1:
+            kwargs["level"] = int(fields[0])
+        if len(fields) >= 2:
+            kwargs["bit"] = int(fields[1])
+        if len(fields) > 2:
+            raise ValueError("too many fields")
+    except ValueError as exc:
+        raise ConformanceError(f"bad fault spec {spec!r}: {exc}") from exc
+    return CachedNodeFault(consistent=consistent, **kwargs)
+
+
+def parse_fault(spec: str) -> BitFlipFault | CachedNodeFault:
+    """Parse a fault spec: ``target:bitflip[:call_index[:bit]]`` for the
+    hash taps, ``cache:flip[:level[:bit]][:benign]`` for the layer cache.
+    """
     parts = spec.strip().split(":")
+    if len(parts) >= 2 and parts[0] == "cache" and parts[1] == "flip":
+        return _parse_cache_fault(spec, parts)
     if len(parts) < 2 or parts[1] != "bitflip":
         raise ConformanceError(
             f"unsupported fault spec {spec!r}; expected "
-            "'thash:bitflip[:call_index[:bit]]' or 'prf:bitflip[...]'"
+            "'thash:bitflip[:call_index[:bit]]', 'prf:bitflip[...]', or "
+            "'cache:flip[:level[:bit]][:benign]'"
         )
     kwargs: dict[str, int] = {}
     try:

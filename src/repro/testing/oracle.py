@@ -30,6 +30,14 @@ must (a) catch the divergence, (b) name the stage, and (c) confirm the
 faulty signature fails verification.  The reference path additionally
 localizes the fault with the ``sphincs/`` tracing hooks
 (:func:`repro.testing.tracing.capture_trace`).
+
+A :class:`~repro.testing.faults.CachedNodeFault` runs a focused two-pass
+flow instead: warm the vectorized backend's hypertree layer cache over
+the corpus (pass 1 must byte-match), corrupt one cached subtree node,
+then sign the corpus again — the divergence is provably the cached state.
+A *consistent* strike produces signatures that still verify, so the
+report must show ``verify_failed=False`` divergences: the fault-attack
+class only the differential compare catches.
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ from ..runtime.registry import available_backends, get_backend
 from ..runtime.scheduler import BatchScheduler
 from ..sphincs.signer import KeyPair, Sphincs
 from .corpus import message_corpus
-from .faults import BitFlipFault
+from .faults import BitFlipFault, CachedNodeFault
 from .tracing import capture_trace, first_divergence
 
 __all__ = ["Divergence", "PathResult", "ConformanceReport",
@@ -149,7 +157,11 @@ class ConformanceReport:
             fired = "fired" if self.fault_fired else "NEVER FIRED"
             lines.append(f"  injected fault {self.fault_spec}: {fired}")
             if self.fault_hop is not None:
-                lines.append(f"  reference trace diverges at {self.fault_hop}")
+                if (self.fault_spec or "").startswith("cache:"):
+                    lines.append(f"  cache strike: {self.fault_hop}")
+                else:
+                    lines.append(
+                        f"  reference trace diverges at {self.fault_hop}")
         return "\n".join(lines)
 
 
@@ -227,7 +239,7 @@ class DifferentialOracle:
                  include_clients: bool = True,
                  service_backend: str = "vectorized",
                  service_workers: int = 2,
-                 fault: BitFlipFault | None = None,
+                 fault: BitFlipFault | CachedNodeFault | None = None,
                  fault_target: str = "scalar"):
         self.params = get_params(params) if isinstance(params, str) else params
         self.backends = (list(backends) if backends is not None
@@ -266,6 +278,22 @@ class DifferentialOracle:
         reference.elapsed_s = time.perf_counter() - started
 
         results = [reference]
+        if isinstance(self.fault, CachedNodeFault):
+            # Focused two-pass flow: warm pass, cache strike, faulted
+            # pass.  The service/scheduler/client tiers share the same
+            # backend code, so the cached-state property is established
+            # once, where the cache lives.
+            cached_results, fault_hop = self._run_cached_fault(
+                scheme, keys, expected)
+            results.extend(cached_results)
+            return ConformanceReport(
+                params=self.params.name,
+                cases=[case for case, _ in self.corpus],
+                results=results,
+                fault_spec=self.fault.spec,
+                fault_fired=self.fault.fired,
+                fault_hop=fault_hop,
+            )
         fault_fired = False
         for name in self.backends:
             fault = self.fault if name == self.fault_target else None
@@ -273,6 +301,8 @@ class DifferentialOracle:
                                              fault))
             if fault is not None:
                 fault_fired = fault.fired
+        if self.fault is None:
+            results.extend(self._run_warm_paths(scheme, keys, expected))
         if self.include_scheduler:
             results.extend(self._run_scheduler(scheme, keys, expected))
         if self.include_service:
@@ -394,6 +424,102 @@ class DifferentialOracle:
             result.error = f"{type(exc).__name__}: {exc}"
         result.elapsed_s = time.perf_counter() - started
         return result
+
+    def _run_warm_paths(self, scheme: Sphincs, keys: KeyPair,
+                        expected: dict[str, bytes]) -> list[PathResult]:
+        """Cache-enabled byte-identity passes.
+
+        ``backend:scalar+layercache`` runs the reference backend with the
+        hypertree layer cache switched on (it is off by default there);
+        ``backend:vectorized+warm`` signs the corpus twice on one backend
+        instance and compares the *second* pass, whose subtrees and
+        upper-layer WOTS link signatures come out of a warm cache.  Both
+        must stay byte-identical to the cold reference.
+        """
+        results = []
+        messages = [message for _, message in self.corpus]
+        if "scalar" in self.backends:
+            result = PathResult(path="backend:scalar+layercache")
+            started = time.perf_counter()
+            try:
+                backend = get_backend("scalar", self.params,
+                                      deterministic=True,
+                                      cache_budget_mb=32.0)
+                signatures = backend.sign_batch(messages, keys).signatures
+                produced = {case: signature for (case, _), signature
+                            in zip(self.corpus, signatures)}
+                self._compare(result, scheme, keys, expected, produced)
+            except Exception as exc:  # noqa: BLE001
+                result.error = f"{type(exc).__name__}: {exc}"
+            result.elapsed_s = time.perf_counter() - started
+            results.append(result)
+        if "vectorized" in self.backends:
+            result = PathResult(path="backend:vectorized+warm")
+            started = time.perf_counter()
+            try:
+                backend = get_backend("vectorized", self.params,
+                                      deterministic=True)
+                backend.sign_batch(messages, keys)  # warms the cache
+                signatures = backend.sign_batch(messages, keys).signatures
+                produced = {case: signature for (case, _), signature
+                            in zip(self.corpus, signatures)}
+                self._compare(result, scheme, keys, expected, produced)
+            except Exception as exc:  # noqa: BLE001
+                result.error = f"{type(exc).__name__}: {exc}"
+            result.elapsed_s = time.perf_counter() - started
+            results.append(result)
+        return results
+
+    def _run_cached_fault(self, scheme: Sphincs, keys: KeyPair,
+                          expected: dict[str, bytes]
+                          ) -> tuple[list[PathResult], str | None]:
+        """Warm the layer cache, strike one cached node, sign again.
+
+        Returns the warm-pass and faulted-pass results plus the strike's
+        detail string (reported as the fault localization).  The warm
+        pass must byte-match — otherwise the faulted pass would prove
+        nothing about the cache.
+        """
+        fault = self.fault
+        messages = [message for _, message in self.corpus]
+        warm_result = PathResult(path="backend:vectorized+warm")
+        fault_result = PathResult(path="backend:vectorized+cached-fault")
+        detail = None
+        started = time.perf_counter()
+        try:
+            backend = get_backend("vectorized", self.params,
+                                  deterministic=True)
+            signatures = backend.sign_batch(messages, keys).signatures
+            produced = {case: signature for (case, _), signature
+                        in zip(self.corpus, signatures)}
+            self._compare(warm_result, scheme, keys, expected, produced)
+            warm_result.elapsed_s = time.perf_counter() - started
+            if warm_result.divergences:
+                # The clean warm pass is already wrong; a cache strike on
+                # top of it would be meaningless.  fired stays False, so
+                # the CLI reports the fault as never having fired.
+                return [warm_result], None
+            # Strike the cached subtree that the first corpus message's
+            # hypertree walk traverses, then serve the corrupted cache.
+            started = time.perf_counter()
+            task = scheme.prepare(self.corpus[0][1], keys)
+            detail = fault.apply(backend._ops(keys), task.idx_tree)
+            signatures = backend.sign_batch(messages, keys).signatures
+            produced = {case: signature for (case, _), signature
+                        in zip(self.corpus, signatures)}
+            self._compare(fault_result, scheme, keys, expected, produced)
+            if fault.consistent and not fault_result.divergences:
+                fault_result.divergences.append(Divergence(
+                    path=fault_result.path, case=self.corpus[0][0],
+                    stage="cache", verify_failed=False,
+                    detail="consistent cached-node flip produced no "
+                           "divergence — the strike missed the signing "
+                           "path",
+                ))
+        except Exception as exc:  # noqa: BLE001
+            fault_result.error = f"{type(exc).__name__}: {exc}"
+        fault_result.elapsed_s = time.perf_counter() - started
+        return [warm_result, fault_result], detail
 
     def _run_scheduler(self, scheme: Sphincs, keys: KeyPair,
                        expected: dict[str, bytes]) -> list[PathResult]:

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.errors import ConformanceError
+from repro.runtime import get_backend
 from repro.sphincs.signer import Sphincs
-from repro.testing import BitFlipFault, flip_bit, parse_fault
+from repro.testing import (BitFlipFault, CachedNodeFault, flip_bit,
+                           parse_fault)
 
 
 class TestFlipBit:
@@ -31,10 +33,23 @@ class TestParseFault:
     @pytest.mark.parametrize("spec", [
         "thash", "thash:stuckat", "gamma:bitflip", "thash:bitflip:x",
         "thash:bitflip:1:2:3:4", "thash:bitflip:-1",
+        "cache:bitflip", "cache:flip:x", "cache:flip:0:0:benign:extra",
+        "cache:flip:-1",
     ])
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ConformanceError):
             parse_fault(spec)
+
+    def test_cache_fault_specs(self):
+        fault = parse_fault("cache:flip")
+        assert isinstance(fault, CachedNodeFault)
+        assert (fault.level, fault.bit, fault.consistent) == (0, 0, True)
+        fault = parse_fault("cache:flip:1:5")
+        assert (fault.level, fault.bit, fault.consistent) == (1, 5, True)
+        fault = parse_fault("cache:flip:0:3:benign")
+        assert (fault.level, fault.bit, fault.consistent) == (0, 3, False)
+        # The spec round-trips, so CI logs reproduce exactly.
+        assert parse_fault(fault.spec).spec == fault.spec
 
 
 class TestInstall:
@@ -94,3 +109,50 @@ class TestDetection:
         assert fault.fired
         # A corrupted revealed FORS secret cannot reproduce the leaf.
         assert not scheme.verify(b"prf victim", faulty, keys.public)
+
+
+class TestCachedNodeFault:
+    """A flip inside the warm layer cache splits into two classes: the
+    naive (benign) flip breaks the auth path and verification catches it;
+    the consistent flip re-derives the corrupted subtree's ancestors and
+    yields a signature that still verifies — only the byte-level
+    differential compare sees it."""
+
+    def _warm_backend(self):
+        scheme = Sphincs("128f", deterministic=True)
+        backend = get_backend("vectorized", "128f", deterministic=True)
+        keys = backend.keygen(seed=bytes(48))
+        message = b"cache fault victim"
+        clean = backend.sign_batch([message], keys).signatures[0]
+        task = scheme.prepare(message, keys)
+        return scheme, backend, keys, message, clean, task
+
+    def test_layer_from_top_zero_rejected(self):
+        with pytest.raises(ConformanceError, match="layer_from_top"):
+            CachedNodeFault(layer_from_top=0)
+
+    def test_benign_flip_caught_by_verify(self):
+        scheme, backend, keys, message, clean, task = self._warm_backend()
+        fault = CachedNodeFault(consistent=False)
+        detail = fault.apply(backend._ops(keys), task.idx_tree)
+        assert fault.fired and "stale" in detail
+        faulty = backend.sign_batch([message], keys).signatures[0]
+        assert faulty != clean
+        assert not scheme.verify(message, faulty, keys.public)
+
+    def test_consistent_flip_still_verifies(self):
+        scheme, backend, keys, message, clean, task = self._warm_backend()
+        fault = CachedNodeFault(consistent=True)
+        fault.apply(backend._ops(keys), task.idx_tree)
+        faulty = backend.sign_batch([message], keys).signatures[0]
+        # The dangerous class: wrong bytes, yet verification accepts —
+        # which is exactly why the oracle byte-compares every tier.
+        assert faulty != clean
+        assert scheme.verify(message, faulty, keys.public)
+
+    def test_invalidation_heals_the_strike(self):
+        scheme, backend, keys, message, clean, task = self._warm_backend()
+        CachedNodeFault().apply(backend._ops(keys), task.idx_tree)
+        backend.invalidate_key(keys)
+        healed = backend.sign_batch([message], keys).signatures[0]
+        assert healed == clean
