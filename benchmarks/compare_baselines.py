@@ -2,10 +2,11 @@
 """CI perf-regression gate: diff measured baselines against pinned ones.
 
 The JSON perf baselines (``backend_throughput.json``,
-``service_latency.json``, ``pool_scaling.json``) live under
+``service_latency.json``, ``pool_scaling.json``,
+``obs_overhead.json``) live under
 ``benchmarks/results/`` (full mode) and ``benchmarks/results/smoke/``
 (``REPRO_SMOKE=1`` mode) and are committed to the repository.  Running
-the three benchmarks rewrites the mode's files in the working tree; this
+the benchmarks rewrites the mode's files in the working tree; this
 script then compares every watched metric in the freshly measured files
 against the *pinned* (committed) copies and exits non-zero naming each
 metric that regressed beyond the tolerance.
@@ -18,7 +19,8 @@ full-mode numbers.
 Usage::
 
     REPRO_SMOKE=1 python -m pytest benchmarks/test_backend_throughput.py \
-        benchmarks/test_service_latency.py benchmarks/test_pool_scaling.py -q
+        benchmarks/test_service_latency.py benchmarks/test_pool_scaling.py \
+        benchmarks/test_obs_overhead.py -q
     REPRO_SMOKE=1 python benchmarks/compare_baselines.py [--tolerance 0.25]
 
     python benchmarks/compare_baselines.py --self-check
@@ -27,8 +29,8 @@ Usage::
         # the alarm rings before trusting its silence)
 
     python benchmarks/compare_baselines.py --regen-baselines
-        # re-runs the three benchmarks to refresh this mode's pinned
-        # files in place (commit the result), mirroring --regen-kats
+        # re-runs the watched benchmarks to refresh this mode's
+        # pinned files in place (commit the result), mirroring --regen-kats
 
 By default the pinned copy is read from ``git show HEAD:<path>`` so the
 comparison works even after the benchmarks have overwritten the working
@@ -57,6 +59,7 @@ BASELINE_SOURCES = {
     "backend_throughput.json": "test_backend_throughput.py",
     "service_latency.json": "test_service_latency.py",
     "pool_scaling.json": "test_pool_scaling.py",
+    "obs_overhead.json": "test_obs_overhead.py",
 }
 
 
@@ -98,6 +101,14 @@ WATCHED: dict[str, list[Metric]] = {
                optional=True),
         Metric(("scaling", "2w_vs_1w"), higher_is_better=True),
         Metric(("scaling", "4w_vs_1w"), higher_is_better=True,
+               optional=True),
+    ],
+    "obs_overhead.json": [
+        Metric(("sigs_per_s", "tracing_off"), higher_is_better=True),
+        Metric(("sigs_per_s", "tracing_on"), higher_is_better=True),
+        # A clean run pins ~0.0, which the `base <= 0` rule skips; the
+        # gate only engages once a real overhead has been pinned.
+        Metric(("overhead_fraction",), higher_is_better=False,
                optional=True),
     ],
 }
@@ -220,6 +231,16 @@ def run_gate(tolerance: float,
             print(f"{filename}: pinned/measured smoke modes differ — "
                   "skipped (regen the pinned baseline for this mode)")
             continue
+        if pinned.get("snapshot_schema") != measured.get("snapshot_schema"):
+            # Shape drift, not perf drift: the service snapshot the
+            # benchmark read changed versions, so the recorded sections
+            # may not mean the same thing.  Surface it loudly and skip
+            # rather than comparing apples to renamed apples.
+            print(f"{filename}: snapshot_schema drifted "
+                  f"(pinned {pinned.get('snapshot_schema')} -> measured "
+                  f"{measured.get('snapshot_schema')}) — skipped; regen "
+                  "the pinned baseline after reviewing the shape change")
+            continue
         compared_any = True
         verdicts.extend(compare_record(filename, pinned, measured,
                                        tolerance))
@@ -292,7 +313,7 @@ def run_self_check(tolerance: float,
 
 
 def regen_baselines() -> int:
-    """Re-run the three benchmarks so this mode's pinned files refresh."""
+    """Re-run the watched benchmarks so this mode's pinned files refresh."""
     files = [str(BENCH_DIR / source)
              for source in BASELINE_SOURCES.values()]
     proc = subprocess.run(
@@ -321,8 +342,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="inject a fake regression and require the "
                              "gate to catch it")
     parser.add_argument("--regen-baselines", action="store_true",
-                        help="re-run the three benchmarks to refresh this "
-                             "mode's pinned files")
+                        help="re-run the watched benchmarks to refresh "
+                             "this mode's pinned files")
     args = parser.parse_args(argv)
     if not 0 < args.tolerance < 1:
         print(f"--tolerance must be in (0, 1), got {args.tolerance}",

@@ -123,6 +123,9 @@ def test_service_poisson_latency(emit):
         "params": "SPHINCS+-128f",
         "backend": "vectorized",
         "smoke": SMOKE,
+        # Version of the stats-snapshot shape the sections below were
+        # read from; compare_baselines.py refuses to diff across a bump.
+        "snapshot_schema": stats["snapshot_schema"],
         "messages": MESSAGES,
         "offered_rate": RATE,
         "target_batch_size": TARGET_BATCH,

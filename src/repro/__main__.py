@@ -260,6 +260,15 @@ def _build_service(args: argparse.Namespace):
                                 get_params(params).n)
                     if args.deterministic else None)
             keystore.generate_key(name, "default", seed=seed)
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from .obs import Tracer
+
+        tracer = Tracer(out_path=args.trace_out)
+    if getattr(args, "log_json", None):
+        from .obs import configure_logging
+
+        configure_logging(args.log_json)
     return SigningService(
         keystore,
         backend=args.backend,
@@ -269,7 +278,20 @@ def _build_service(args: argparse.Namespace):
         deterministic=args.deterministic,
         workers=args.workers,
         cache_budget_mb=args.cache_budget_mb,
+        tracer=tracer,
     )
+
+
+def _start_metrics(args: argparse.Namespace, service):
+    """Start the Prometheus endpoint when --metrics-port was given."""
+    port = getattr(args, "metrics_port", None)
+    if port is None:
+        return None
+    from .obs import MetricsServer
+
+    endpoint = MetricsServer(service.metrics_registry, port=port).start()
+    print(f"metrics endpoint on http://127.0.0.1:{endpoint.port}/metrics")
+    return endpoint
 
 
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
@@ -292,6 +314,16 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-budget-mb", type=float, default=None,
                         help="per-key hypertree layer-cache memory budget "
                              "in MiB (default: model default, 32)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="export request spans as JSONL to PATH "
+                             "(enables end-to-end tracing)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus /metrics on PORT "
+                             "(0 picks a free port)")
+    parser.add_argument("--log-json", default=None, metavar="DEST",
+                        help="structured JSON logs to DEST "
+                             "('-' for stderr, else a file path)")
 
 
 def _cmd_serve_async(args: argparse.Namespace) -> int:
@@ -303,6 +335,7 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         service = _build_service(args)
         server = SigningServer(service, host=args.host, port=args.port)
         await server.start()
+        metrics = _start_metrics(args, service)
         config = service.stats()["config"]
         print(f"signing service listening on {args.host}:{server.port}")
         print(f"  tenants       : {config['tenants']}")
@@ -315,15 +348,21 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
         if config.get("cache_budget_mb") is not None:
             print(f"  layer cache   : {config['cache_budget_mb']} MiB/key "
                   "budget, tenant keys prewarmed")
+        if args.trace_out:
+            print(f"  tracing       : spans -> {args.trace_out}")
         print("  protocol      : v2 (hello negotiation; verbs: sign, "
-              "sign-many, verify, keys, stats, ping); v1 clients served "
-              "unchanged; Ctrl-C to stop")
+              "sign-many, verify, keys, stats, metrics, ping); v1 "
+              "clients served unchanged; Ctrl-C to stop")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
             pass
         finally:
             await server.stop()
+            if metrics is not None:
+                metrics.close()
+            if service.tracer is not None:
+                service.tracer.close()
 
     try:
         asyncio.run(run())
@@ -359,11 +398,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
     async def run() -> int:
         server = None
+        metrics = None
         if args.connect:
             client = await AsyncClient.connect(host, port)
         else:
             server = SigningServer(_build_service(args), port=0)
             await server.start()
+            metrics = _start_metrics(args, server.service)
             print(f"self-hosted signing service on 127.0.0.1:{server.port}")
             client = await AsyncClient.connect(port=server.port)
 
@@ -384,6 +425,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             await client.close()
             if server is not None:
                 await server.stop()
+                if metrics is not None:
+                    metrics.close()
+                tracer = server.service.tracer
+                if tracer is not None:
+                    tracer.close()
+                    print(f"\n{len(tracer.spans())} spans across "
+                          f"{len(tracer.traces())} traces -> "
+                          f"{args.trace_out} "
+                          "(render with: repro trace --input "
+                          f"{args.trace_out})")
         print()
         print(report.table())
         print()
@@ -519,6 +570,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import load_spans, render_critical_path
+
+    try:
+        spans = load_spans(args.input)
+    except (OSError, ValueError) as exc:
+        print(f"trace: cannot read {args.input!r}: {exc}", file=sys.stderr)
+        return 2
+    if not spans:
+        print(f"trace: no spans in {args.input!r}", file=sys.stderr)
+        return 2
+    print(render_critical_path(spans, top=args.top))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -646,6 +712,15 @@ def main(argv: list[str] | None = None) -> int:
     p_model.add_argument("--messages", type=int, default=1024)
     p_model.add_argument("--batches", type=int, default=8)
     p_model.set_defaults(func=_cmd_model)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="critical-path breakdown of a --trace-out span export")
+    p_trace.add_argument("--input", required=True, metavar="PATH",
+                         help="JSONL span export written by --trace-out")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="show the N slowest requests (default 10)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_report = sub.add_parser("report", help="paper-vs-model report")
     p_report.add_argument("--device", default="RTX 4090")

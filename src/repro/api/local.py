@@ -11,8 +11,10 @@ amortization the runtime was built for.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
+from ..obs.trace import current_trace, start_trace, use_trace
 from ..runtime.scheduler import BatchScheduler, BatchStats
 from ..service.keystore import Keystore, derive_seed
 from ..sphincs.signer import Sphincs
@@ -45,16 +47,23 @@ class LocalClient(SigningClient):
     transport_label:
         Result/telemetry label; defaults to ``"pooled"`` when the pooled
         backend executes, ``"local"`` otherwise.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  Each facade call
+        records a root ``client-request`` span and runs its scheduler
+        batch inside that trace context, so the scheduler's ``sign`` and
+        stage spans join the same trace.
     """
 
     def __init__(self, keystore: Keystore | None = None,
                  backend: str = "vectorized",
                  deterministic: bool = False,
                  backend_options: dict[str, dict] | None = None,
-                 transport_label: str | None = None):
+                 transport_label: str | None = None,
+                 tracer=None):
         self.keystore = keystore if keystore is not None else Keystore()
         self.backend_name = backend
         self.deterministic = deterministic
+        self.tracer = tracer
         self.backend_options = dict(backend_options or {})
         self.transport = transport_label or (
             "pooled" if backend == "pooled" else "local")
@@ -112,6 +121,7 @@ class LocalClient(SigningClient):
                 deterministic=self.deterministic,
                 backend_options=self.backend_options,
                 keys_provider=lambda params_name, _keys=keys: _keys,
+                tracer=self.tracer,
             )
             self._schedulers[(tenant, key)] = entry
         return entry
@@ -141,9 +151,25 @@ class LocalClient(SigningClient):
         for (tenant, key), members in groups.items():
             _, params_name = self.keystore.resolve(tenant, key)
             scheduler = self._scheduler_for(tenant, key)
-            tickets = [scheduler.submit(request.message, params=params_name)
-                       for _, request in members]
-            [stats] = scheduler.flush()
+            if self.tracer is not None:
+                # One trace per facade batch: the root client-request
+                # span plus the scheduler's sign/stage spans underneath.
+                ctx = current_trace() or start_trace()
+                started = time.time()
+                with use_trace(ctx):
+                    tickets = [scheduler.submit(request.message,
+                                                params=params_name)
+                               for _, request in members]
+                    [stats] = scheduler.flush()
+                self.tracer.record_span(
+                    "client-request", trace=ctx, span_id=ctx.span_id,
+                    start=started, end=time.time(), tenant=tenant,
+                    key=key, batch_size=len(members))
+            else:
+                tickets = [scheduler.submit(request.message,
+                                            params=params_name)
+                           for _, request in members]
+                [stats] = scheduler.flush()
             for (index, request), ticket in zip(members, tickets):
                 signature = scheduler.claim(ticket)
                 assert signature is not None  # flushed above

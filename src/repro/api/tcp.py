@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Sequence
 
 from ..errors import ServiceError, UnsupportedVersionError
+from ..obs.trace import TraceContext, Tracer, current_trace, start_trace
 from ..service import protocol
 from ..service.client import ServiceClient
 from .base import SigningClient
@@ -55,14 +57,21 @@ class AsyncClient:
 
     transport = "tcp"
 
-    def __init__(self, wire: ServiceClient, info: ServiceInfo):
+    def __init__(self, wire: ServiceClient, info: ServiceInfo,
+                 trace_ok: bool = False, tracer: Tracer | None = None):
         self._wire = wire
         self._info = info
+        # Whether the server's hello advertised the trace capability.
+        # Kept private (not on the frozen ServiceInfo): it gates what
+        # this client *sends*, it is not part of the typed result surface.
+        self._trace_ok = trace_ok
+        self._tracer = tracer
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 7744,
                       version: int = protocol.PROTOCOL_VERSION,
-                      min_version: int = 2) -> "AsyncClient":
+                      min_version: int = 2,
+                      tracer: Tracer | None = None) -> "AsyncClient":
         wire = await ServiceClient.open(host, port)
         try:
             hello = await wire.request({"op": "hello", "version": version})
@@ -92,7 +101,8 @@ class AsyncClient:
             max_batch=hello.get("max_batch"),
             parameter_sets=tuple(hello.get("parameter_sets", ())),
         )
-        return cls(wire, info)
+        return cls(wire, info, trace_ok=bool(hello.get("trace")),
+                   tracer=tracer)
 
     # ------------------------------------------------------------------
     # Typed API (mirrors the sync SigningClient surface)
@@ -161,6 +171,20 @@ class AsyncClient:
                 "the local transport"
             )
 
+    def _trace_for_frame(self) -> TraceContext | None:
+        """The trace context this frame should carry, if any.
+
+        Only when the server advertised the capability: the ambient
+        context wins (a caller already inside a trace), else a client
+        tracer starts a fresh root trace per frame.
+        """
+        if not self._trace_ok:
+            return None
+        ctx = current_trace()
+        if ctx is None and self._tracer is not None:
+            ctx = start_trace()
+        return ctx
+
     async def _sign(self, request: SignRequest) -> SignResult:
         self._check_frame_fit(request.message)
         payload = {"op": "sign", "tenant": request.tenant,
@@ -168,7 +192,17 @@ class AsyncClient:
                    "message": protocol.pack_bytes(request.message)}
         if request.deadline_ms is not None:
             payload["deadline_ms"] = request.deadline_ms
-        return _sign_result(await self._wire.request(payload), request)
+        ctx = self._trace_for_frame()
+        if ctx is not None:
+            payload["trace"] = ctx.trace_id
+        started = time.time()
+        response = await self._wire.request(payload)
+        if ctx is not None and self._tracer is not None:
+            self._tracer.record_span(
+                "client-request", trace=ctx, span_id=ctx.span_id,
+                start=started, end=time.time(), tenant=request.tenant,
+                key=request.key)
+        return _sign_result(response, request)
 
     async def _sign_many(self, requests: Sequence[SignRequest]
                          ) -> list[SignResult]:
@@ -190,6 +224,8 @@ class AsyncClient:
                 chunk_bytes = 0
             chunks[-1].append(request)
             chunk_bytes += size
+        contexts = [self._trace_for_frame() for _ in chunks]
+        started = time.time()
         responses = await asyncio.gather(*(
             self._wire.request({
                 "op": "sign-many",
@@ -198,7 +234,17 @@ class AsyncClient:
                              for request in chunk],
                 **({"deadline_ms": chunk[0].deadline_ms}
                    if chunk[0].deadline_ms is not None else {}),
-            }) for chunk in chunks))
+                **({"trace": ctx.trace_id} if ctx is not None else {}),
+            }) for chunk, ctx in zip(chunks, contexts)))
+        if self._tracer is not None:
+            ended = time.time()
+            for chunk, ctx in zip(chunks, contexts):
+                if ctx is not None:
+                    self._tracer.record_span(
+                        "client-request", trace=ctx, span_id=ctx.span_id,
+                        start=started, end=ended,
+                        tenant=chunk[0].tenant, key=chunk[0].key,
+                        batch_size=len(chunk))
         results: list[SignResult] = []
         for chunk, response in zip(chunks, responses):
             for request, item in zip(chunk, response["results"]):

@@ -75,6 +75,21 @@ class HashContext:
         self._midstates: dict[bytes, "hashlib._Hash"] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def counting(self) -> bool:
+        """Whether T-hash/PRF calls tally :attr:`hash_calls`.
+
+        Writable: the observability layer's stage tap
+        (``repro.obs.trace.StageAggregator``) flips it on for the span
+        of one batch to attribute compression calls per signer stage,
+        then restores the constructor's setting.
+        """
+        return self._count
+
+    @counting.setter
+    def counting(self, value: bool) -> None:
+        self._count = bool(value)
+
     def reset_counter(self) -> None:
         self.hash_calls = 0
 

@@ -43,9 +43,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import BackendError, WorkerCrashedError
+from ..obs.log import get_logger
 from ..params import SphincsParams
 from ..sphincs.signer import KeyPair
 from .backend import BackendCapabilities, BatchSignResult, SigningBackend
+
+_log = get_logger("pool")
 
 __all__ = ["HashRing", "PoolSignOutcome", "PooledBackend", "WorkerPool",
            "WorkerStats"]
@@ -166,20 +169,60 @@ def _worker_main(worker_id: int, backend_name: str, deterministic: bool,
                 os._exit(_CRASH_EXIT_CODE)
             crash_armed = True
         elif kind == "sign":
-            _, job_id, params_name, key_fields, messages = item
+            _, job_id, params_name, key_fields, messages = item[:5]
+            trace = item[5] if len(item) > 5 else None
             if crash_armed:
                 os._exit(_CRASH_EXIT_CODE)
             started = time.perf_counter()
+            started_wall = time.time()
             try:
                 backend = backend_for(params_name)
                 result = backend.sign_batch(messages, KeyPair(*key_fields))
+                busy_s = time.perf_counter() - started
+                spans = (_worker_spans(worker_id, trace, started_wall,
+                                       busy_s, result)
+                         if trace is not None else ())
                 outbox.put(("result", worker_id, job_id, result.signatures,
-                            time.perf_counter() - started,
-                            dict(result.cache_stats)))
+                            busy_s, dict(result.cache_stats), spans))
             except Exception as exc:  # noqa: BLE001 — typed error, not a crash
                 outbox.put(("error", worker_id, job_id,
                             f"{type(exc).__name__}: {exc}",
                             time.perf_counter() - started))
+
+
+def _worker_spans(worker_id: int, trace: tuple, started_wall: float,
+                  busy_s: float, result: BatchSignResult) -> list[dict]:
+    """Span dicts for one worker-side batch, serialized for the parent.
+
+    *trace* is the ``(trace_id, parent span id)`` pair the service put
+    on the sign message.  Stage sub-spans are laid out sequentially from
+    the batch start using the backend's ``stage_seconds`` — the stages
+    run in that order, so the reconstruction matches reality to within
+    the (untimed) gaps between them.
+    """
+    from ..obs.trace import new_span_id
+
+    trace_id, parent = trace
+    worker_span = new_span_id()
+    spans = [{
+        "trace": trace_id, "span": worker_span, "parent": parent,
+        "name": "worker", "start": started_wall,
+        "end": started_wall + busy_s,
+        "attrs": {"worker": worker_id, "backend": result.backend,
+                  "batch_size": result.count},
+    }]
+    offset = started_wall
+    for stage, seconds in result.stage_seconds.items():
+        if stage in ("pool", "workers_busy", "shard_pool"):
+            continue  # aggregates, not pipeline stages
+        spans.append({
+            "trace": trace_id, "span": new_span_id(),
+            "parent": worker_span, "name": stage,
+            "start": offset, "end": offset + seconds,
+            "attrs": {"worker": worker_id},
+        })
+        offset += seconds
+    return spans
 
 
 # ----------------------------------------------------------------------
@@ -220,6 +263,8 @@ class _Job:
     slot: int
     retries: int = 0
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: ``(trace id, parent span id)`` riding to the worker, or None.
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -236,6 +281,9 @@ class PoolSignOutcome:
     #: before submit for true per-batch latency regardless of the order
     #: results are picked up in (0.0 for empty batches).
     done_at: float = 0.0
+    #: Worker-emitted span dicts (non-empty only for traced batches);
+    #: the dispatcher ingests them into the service's Tracer.
+    spans: tuple = ()
 
 
 class WorkerPool:
@@ -405,7 +453,8 @@ class WorkerPool:
 
     def submit(self, messages: Sequence[bytes], keys: KeyPair,
                params: SphincsParams | str, *, worker: int | None = None,
-               shard_key: str | None = None) -> int:
+               shard_key: str | None = None,
+               trace: tuple | None = None) -> int:
         """Queue one batch; returns a job id for :meth:`result`.
 
         Routing precedence: explicit ``worker`` slot, then the hash ring
@@ -424,7 +473,7 @@ class WorkerPool:
             if self._closing:
                 raise BackendError("worker pool is closed")
             job = _Job(next(self._job_ids), params_name, key_fields,
-                       list(messages), worker)
+                       list(messages), worker, trace=trace)
             self._jobs[job.job_id] = job
             self.stats_by_worker[worker].dispatched += 1
             # Deliver under the lock: _recover() swaps a dead slot's inbox
@@ -434,7 +483,7 @@ class WorkerPool:
             # thread drains the buffer).
             self._inboxes[worker].put(
                 ("sign", job.job_id, params_name, key_fields,
-                 job.messages))
+                 job.messages, job.trace))
         return job.job_id
 
     def result(self, job_id: int, timeout=_POOL_DEFAULT) -> PoolSignOutcome:
@@ -473,7 +522,7 @@ class WorkerPool:
     def sign_batch(self, messages: Sequence[bytes], keys: KeyPair,
                    params: SphincsParams | str, *,
                    worker: int | None = None, shard_key: str | None = None,
-                   split: bool = False,
+                   split: bool = False, trace: tuple | None = None,
                    timeout=_POOL_DEFAULT) -> PoolSignOutcome:
         """Sign *messages*, optionally splitting across every worker.
 
@@ -489,12 +538,13 @@ class WorkerPool:
             chunk = (len(messages) + self.workers - 1) // self.workers
             jobs = [
                 self.submit(messages[i:i + chunk], keys, params,
-                            worker=(i // chunk) % self.workers)
+                            worker=(i // chunk) % self.workers,
+                            trace=trace)
                 for i in range(0, len(messages), chunk)
             ]
         else:
             jobs = [self.submit(messages, keys, params, worker=worker,
-                                shard_key=shard_key)]
+                                shard_key=shard_key, trace=trace)]
         outcomes = [self.result(job_id, timeout=timeout) for job_id in jobs]
         signatures = [sig for outcome in outcomes
                       for sig in outcome.signatures]
@@ -516,6 +566,8 @@ class WorkerPool:
             requeues=sum(outcome.requeues for outcome in outcomes),
             cache_stats=cache_stats,
             done_at=max(outcome.done_at for outcome in outcomes),
+            spans=tuple(span for outcome in outcomes
+                        for span in outcome.spans),
         )
 
     # ------------------------------------------------------------------
@@ -683,6 +735,8 @@ class WorkerPool:
             except Exception as exc:  # noqa: BLE001 — must not die
                 if self._closing:
                     return
+                _log.error("collector-error",
+                           error=f"{type(exc).__name__}: {exc}")
                 with self._cond:
                     for job in list(self._jobs.values()):
                         self._jobs.pop(job.job_id)
@@ -706,7 +760,8 @@ class WorkerPool:
         stats = self.stats_by_worker[worker_id]
         stats.last_seen = time.monotonic()
         if kind == "result":
-            _, _, job_id, signatures, busy_s, cache_stats = message
+            _, _, job_id, signatures, busy_s, cache_stats = message[:6]
+            spans = message[6] if len(message) > 6 else ()
             with self._cond:
                 job = self._jobs.get(job_id)
                 if job is None or job.slot != worker_id:
@@ -727,7 +782,7 @@ class WorkerPool:
                     signatures=list(signatures), workers=(worker_id,),
                     elapsed_s=busy_s, busy_s=busy_s,
                     requeues=job.retries, cache_stats=cache_stats,
-                    done_at=time.monotonic()), None)
+                    done_at=time.monotonic(), spans=tuple(spans)), None)
                 self._cond.notify_all()
         elif kind == "error":
             _, _, job_id, detail, busy_s = message
@@ -793,6 +848,8 @@ class WorkerPool:
             else:
                 self.stats_by_worker[slot].respawns += 1
                 self.stats_by_worker[slot].cache = {}
+                _log.warn("worker-respawn", slot=slot, exitcode=exitcode,
+                          respawns=self.stats_by_worker[slot].respawns)
                 # Replay the slot's warm registrations so the respawned
                 # worker rebuilds the prewarmed caches it died with
                 # before any requeued/new batch reaches it.
@@ -839,6 +896,9 @@ class WorkerPool:
                 job.retries += 1
                 if job.retries > self.max_retries:
                     self._jobs.pop(job.job_id)
+                    _log.error("worker-crash-exhausted", slot=slot,
+                               exitcode=exitcode, job=job.job_id,
+                               retries=job.retries)
                     self._results[job.job_id] = (
                         "error", None, WorkerCrashedError(
                             f"worker {slot} died (exit {exitcode}) and "
@@ -850,7 +910,7 @@ class WorkerPool:
                 self.stats_by_worker[job.slot].dispatched += 1
                 self._inboxes[job.slot].put(
                     ("sign", job.job_id, job.params_name,
-                     job.key_fields, job.messages))
+                     job.key_fields, job.messages, job.trace))
             self._cond.notify_all()
 
 

@@ -94,6 +94,13 @@ class BatchScheduler:
         ``repro.api`` local transport signs under *keystore* keys
         (tenant-owned, persisted) instead of scheduler-generated ones.
         Resolved once per parameter set, then cached like generated keys.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  When set, every
+        dispatched batch records a ``sign`` span (joined to the ambient
+        trace context when one is current) with per-stage sub-spans from
+        the backend's ``stage_seconds``.  ``None`` keeps dispatch
+        hook-free — the observability overhead benchmark measures
+        exactly this toggle.
     clock:
         Monotonic time source for queue-age accounting (injectable for
         deterministic tests).
@@ -114,6 +121,7 @@ class BatchScheduler:
                  max_retained: int | None = None,
                  on_dispatch: Callable[[BatchStats], None] | None = None,
                  keys_provider: Callable[[str], KeyPair] | None = None,
+                 tracer=None,
                  clock: Callable[[], float] = time.monotonic):
         if target_batch_size < 1:
             raise BackendError(
@@ -135,6 +143,7 @@ class BatchScheduler:
         self.max_retained = max_retained
         self.on_dispatch = on_dispatch
         self.keys_provider = keys_provider
+        self.tracer = tracer
         self.clock = clock
         self.evicted = 0
         self.batches: list[BatchStats] = []
@@ -217,7 +226,10 @@ class BatchScheduler:
         # backend (bad route, misconfiguration) must not strand tickets.
         backend = self.backend_for(params_name, backend_name)
         keys = self.keys_for(params_name)
+        sign_start = time.time() if self.tracer is not None else 0.0
         result = backend.sign_batch(queue.messages, keys)
+        if self.tracer is not None:
+            self._record_spans(result, sign_start, time.time())
         if len(result.signatures) != len(queue.messages):
             raise BackendError(
                 f"backend {backend_name!r} returned {len(result.signatures)} "
@@ -248,6 +260,34 @@ class BatchScheduler:
         if self.on_dispatch is not None:
             self.on_dispatch(stats)
         return stats
+
+    def _record_spans(self, result: BatchSignResult, sign_start: float,
+                      sign_end: float) -> None:
+        """One ``sign`` span per dispatched batch, with stage sub-spans.
+
+        Joined to the ambient trace context when one is current (the
+        local API facade installs one per call); otherwise the sign span
+        roots a fresh trace.  Stage sub-spans are laid out sequentially
+        from the sign start — the stages run in that order.
+        """
+        from ..obs.trace import current_trace, new_span_id, start_trace
+
+        ambient = current_trace()
+        ctx = ambient if ambient is not None else start_trace()
+        sign_id = new_span_id()
+        self.tracer.record_span(
+            "sign", trace=ctx, span_id=sign_id,
+            parent_id=ambient.span_id if ambient is not None else None,
+            start=sign_start, end=sign_end, backend=result.backend,
+            params=result.params, batch_size=result.count)
+        offset = sign_start
+        for stage, seconds in result.stage_seconds.items():
+            if stage in ("pool", "workers_busy", "shard_pool"):
+                continue  # aggregates, not pipeline stages
+            self.tracer.record_span(
+                stage, trace=ctx, parent_id=sign_id,
+                start=offset, end=offset + seconds)
+            offset += seconds
 
     def _stats(self, result: BatchSignResult,
                verified: bool | None) -> BatchStats:

@@ -25,6 +25,7 @@ A change to the dispatch *policy* (when a queue ships) belongs in both.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable
 
@@ -46,6 +47,14 @@ class PendingSign:
     enqueued_at: float  # loop.time()
     deadline_at: float  # enqueued_at + latency budget
     future: asyncio.Future
+    # Trace context must ride here as data, not via contextvars: the
+    # deadline timer fires dispatch from a loop.call_later callback,
+    # which runs in a *fresh* context — the submitter's contextvar never
+    # reaches it.  ``enqueued_wall`` is the wall-clock twin of
+    # ``enqueued_at`` so queue-wait spans share the clock worker
+    # processes stamp their spans with.
+    trace: object | None = None  # repro.obs.trace.TraceContext
+    enqueued_wall: float = 0.0
 
 
 class DeadlineBatcher:
@@ -104,7 +113,8 @@ class DeadlineBatcher:
         return self._inflight_requests
 
     def submit(self, tenant: str, key_name: str, message: bytes,
-               budget_s: float | None = None) -> asyncio.Future:
+               budget_s: float | None = None,
+               trace=None) -> asyncio.Future:
         """Queue a request; the returned future resolves at dispatch."""
         if self._closed:
             raise ServiceError("batcher is closed")
@@ -115,6 +125,8 @@ class DeadlineBatcher:
             tenant=tenant, key_name=key_name, message=message,
             enqueued_at=now, deadline_at=now + budget,
             future=loop.create_future(),
+            trace=trace,
+            enqueued_wall=time.time() if trace is not None else 0.0,
         )
         queue_key = (tenant, key_name)
         queue = self._queues.setdefault(queue_key, [])

@@ -43,6 +43,8 @@ class DispatchOutcome:
     elapsed_s: float
     requeues: int
     split: bool
+    #: Worker-emitted span dicts for traced batches (empty otherwise).
+    spans: tuple = ()
 
 
 class ShardedDispatcher:
@@ -83,8 +85,14 @@ class ShardedDispatcher:
     # ------------------------------------------------------------------
     async def sign_batch(self, tenant: str, key_name: str,
                          messages: list[bytes], keys: KeyPair,
-                         params: str) -> DispatchOutcome:
-        """Sign one batch on the pool without blocking the event loop."""
+                         params: str,
+                         trace: tuple | None = None) -> DispatchOutcome:
+        """Sign one batch on the pool without blocking the event loop.
+
+        *trace* is a ``(trace id, parent span id)`` pair forwarded onto
+        the worker sign messages; the workers answer with span dicts the
+        service ingests into its tracer.
+        """
         slot = self.route(tenant, key_name)
         split = (self.split_factor > 0 and self.pool.workers > 1
                  and len(messages) >= self.split_factor * self.pool.workers)
@@ -93,8 +101,9 @@ class ShardedDispatcher:
         def blocking_sign() -> PoolSignOutcome:
             if split:
                 return self.pool.sign_batch(messages, keys, params,
-                                            split=True)
-            return self.pool.sign_batch(messages, keys, params, worker=slot)
+                                            split=True, trace=trace)
+            return self.pool.sign_batch(messages, keys, params, worker=slot,
+                                        trace=trace)
 
         outcome = await loop.run_in_executor(None, blocking_sign)
         entry = self._routes.setdefault(
@@ -108,6 +117,7 @@ class ShardedDispatcher:
             elapsed_s=outcome.elapsed_s,
             requeues=outcome.requeues,
             split=split,
+            spans=outcome.spans,
         )
 
     # ------------------------------------------------------------------

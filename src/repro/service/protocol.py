@@ -14,8 +14,17 @@ Versions
   wants; the server answers with the negotiated version and its
   capabilities (served verbs, ``max_batch`` for ``sign-many`` frames,
   the tenants' parameter sets).  v2 adds ``verify``, ``sign-many``
-  (multi-message frames that amortize base64/framing overhead), and
-  ``keys`` (list a tenant's named keys).
+  (multi-message frames that amortize base64/framing overhead),
+  ``keys`` (list a tenant's named keys), and ``metrics`` (the unified
+  metrics registry, as JSON or Prometheus exposition text).
+
+Tracing (optional, capability-gated): a ``hello`` response whose
+payload carries ``"trace": true`` invites the client to attach a
+``trace`` field (an opaque id string, <= 64 chars) to ``sign`` and
+``sign-many`` frames.  The server joins its request spans to that
+trace id and echoes the id in the response; servers without a tracer
+accept and ignore the field, and clients that never send it see a
+byte-identical protocol to before.
 
 Request shapes::
 
@@ -23,12 +32,13 @@ Request shapes::
     {"op": "ping", "id": 1}
     {"op": "stats", "id": 2}
     {"op": "sign", "id": 3, "tenant": "acme", "key": "default",
-     "message": "<base64>", "deadline_ms": 100}
+     "message": "<base64>", "deadline_ms": 100, "trace": "9f3a..."}
     {"op": "verify", "id": 4, "tenant": "acme", "key": "default",
      "message": "<base64>", "signature": "<base64>"}
     {"op": "sign-many", "id": 5, "tenant": "acme", "key": "default",
      "messages": ["<base64>", "<base64>"], "deadline_ms": 100}
     {"op": "keys", "id": 6, "tenant": "acme"}
+    {"op": "metrics", "id": 7, "format": "prometheus"}
 
 Responses always carry ``ok``.  Success::
 

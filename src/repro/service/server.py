@@ -35,10 +35,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 from dataclasses import dataclass
 
 from ..errors import (KeystoreError, OverloadedError, ProtocolError,
                       ServiceError, UnknownVerbError)
+from ..obs.log import get_logger
+from ..obs.trace import (TraceContext, Tracer, current_trace, new_span_id,
+                         new_trace_id, tap_stages)
 from ..runtime.backend import SigningBackend
 from ..runtime.pool import WorkerPool
 from ..runtime.registry import get_backend
@@ -51,6 +55,12 @@ from .telemetry import Telemetry, render_snapshot
 from .verbs import ConnectionState, VerbRegistry, default_registry
 
 __all__ = ["SignOutcome", "SigningService", "SigningServer"]
+
+_log = get_logger("service")
+
+#: ``stage_seconds`` keys that are whole-batch aggregates, not pipeline
+#: stages — they must not become stage spans.
+_AGGREGATE_STAGES = ("pool", "workers_busy", "shard_pool")
 
 
 @dataclass(frozen=True)
@@ -80,7 +90,8 @@ class SigningService:
                  telemetry: Telemetry | None = None,
                  workers: int = 0,
                  pool: WorkerPool | None = None,
-                 cache_budget_mb: float | None = None):
+                 cache_budget_mb: float | None = None,
+                 tracer: Tracer | None = None):
         if max_pending < 1:
             raise ServiceError(
                 f"max_pending must be >= 1, got {max_pending}"
@@ -94,6 +105,11 @@ class SigningService:
         self.backend_options = backend_options or {}
         self.cache_budget_mb = cache_budget_mb
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: The unified metrics registry every tier's counters land in —
+        #: the ``metrics`` verb and the Prometheus endpoint read it.
+        self.metrics_registry = self.telemetry.registry
+        #: Optional span sink; ``None`` keeps every sign path hook-free.
+        self.tracer = tracer
         self.batcher = DeadlineBatcher(
             self._dispatch, target_batch_size=target_batch_size,
             max_wait_s=max_wait_s,
@@ -135,6 +151,8 @@ class SigningService:
     def _on_key_event(self, event: str, tenant: str,
                       key_name: str | None, old_keys) -> None:
         """Keystore listener: invalidate (and re-prewarm) on key change."""
+        _log.info("key-event", change=event, tenant=tenant,
+                  key=key_name, invalidated=old_keys is not None)
         if old_keys is not None:
             if self.pool is not None:
                 self.pool.invalidate(old_keys)
@@ -196,6 +214,8 @@ class SigningService:
         depth = self.batcher.pending + self.batcher.in_flight
         if depth >= self.max_pending:
             self.telemetry.record_shed(tenant)
+            _log.warn("request-shed", tenant=tenant, depth=depth,
+                      max_pending=self.max_pending)
             raise OverloadedError(
                 f"queue depth {depth} at watermark {self.max_pending}; "
                 "request shed"
@@ -203,8 +223,29 @@ class SigningService:
         self.telemetry.record_submitted(tenant)
         self.telemetry.observe_depth(depth + 1)
         budget_s = None if deadline_ms is None else deadline_ms / 1000.0
-        return await self.batcher.submit(tenant, key_name, message,
-                                         budget_s=budget_s)
+        trace = None
+        submitted_wall = 0.0
+        if self.tracer is not None:
+            # Root span of this request's trace.  The trace id comes from
+            # the caller's ambient context (the TCP verb layer installs
+            # the client-sent id there); without one, a fresh trace
+            # starts here.  The context rides the PendingSign as data —
+            # the batcher's timer-fired dispatch runs in a fresh context.
+            incoming = current_trace()
+            trace = TraceContext(
+                incoming.trace_id if incoming is not None
+                else new_trace_id(),
+                new_span_id())
+            submitted_wall = time.time()
+        outcome = await self.batcher.submit(tenant, key_name, message,
+                                            budget_s=budget_s, trace=trace)
+        if trace is not None:
+            self.tracer.record_span(
+                "request", trace=trace, span_id=trace.span_id,
+                start=submitted_wall, end=time.time(),
+                tenant=tenant, key=key_name, backend=outcome.backend,
+                batch_size=outcome.batch_size)
+        return outcome
 
     async def verify(self, message: bytes, signature: bytes, tenant: str,
                      key_name: str = "default") -> tuple[bool, str]:
@@ -269,6 +310,15 @@ class SigningService:
                         batch: list[PendingSign]) -> None:
         tenant, key_name = queue_key
         loop = asyncio.get_running_loop()
+        # Requests carrying a trace context (tracer installed at submit
+        # time).  One dispatch span id per traced request, allocated up
+        # front so worker-side spans can parent to the first one.
+        traced = ([request for request in batch
+                   if request.trace is not None]
+                  if self.tracer is not None else [])
+        dispatch_ids = [new_span_id() for _ in traced]
+        stage_seconds: dict[str, float] = {}
+        stage_hashes: dict[str, int] | None = None
         try:
             keys, params_name = self.keystore.resolve(tenant, key_name)
             messages = [request.message for request in batch]
@@ -279,10 +329,18 @@ class SigningService:
                 # as its own task, so nothing here awaits a *previous*
                 # batch before this one starts.
                 dispatch_started = loop.time()
+                dispatch_wall = sign_start = time.time()
                 outcome = await self.dispatcher.sign_batch(
-                    tenant, key_name, messages, keys, params_name)
+                    tenant, key_name, messages, keys, params_name,
+                    trace=((traced[0].trace.trace_id, dispatch_ids[0])
+                           if traced else None))
+                sign_end = time.time()
                 signatures = outcome.signatures
                 backend_name = f"pooled[{self.pool.workers}]"
+                if traced and outcome.spans:
+                    # Worker-side spans (worker + signer stages) already
+                    # carry the first traced request's ids.
+                    self.tracer.ingest(outcome.spans)
             else:
                 backend = self._backend_for(params_name)
                 # Concurrent-dispatch backends skip the lock: independent
@@ -292,20 +350,46 @@ class SigningService:
                          else self._sign_lock)
                 async with guard:
                     dispatch_started = loop.time()
-                    result = await loop.run_in_executor(
-                        None, backend.sign_batch, messages, keys)
+                    dispatch_wall = sign_start = time.time()
+                    if traced:
+                        # Tap the hash-context hook for the batch: adds
+                        # wots/merkle sub-stage times and per-stage hash
+                        # counts on backends that expose the hook (the
+                        # guard lock serializes access to the context).
+                        with tap_stages(backend) as tap:
+                            result = await loop.run_in_executor(
+                                None, backend.sign_batch, messages, keys)
+                    else:
+                        tap = None
+                        result = await loop.run_in_executor(
+                            None, backend.sign_batch, messages, keys)
+                    sign_end = time.time()
                 signatures = result.signatures
                 backend_name = result.backend
+                if traced:
+                    stage_seconds = dict(result.stage_seconds)
+                    if tap is not None:
+                        stage_hashes = dict(tap.stage_hashes)
+                        for stage, seconds in tap.stage_seconds.items():
+                            stage_seconds.setdefault(stage, seconds)
             if len(signatures) != len(batch):
                 raise ServiceError(
                     f"backend {self.backend_name!r} returned "
                     f"{len(signatures)} signatures for "
                     f"{len(batch)} messages"
                 )
-        except Exception:
+        except Exception as exc:
             self.telemetry.record_failed(tenant, len(batch))
+            _log.error("batch-failed", tenant=tenant, key=key_name,
+                       batch=len(batch),
+                       error=f"{type(exc).__name__}: {exc}")
             raise  # the batcher forwards this to every future in the batch
         done = loop.time()
+        if traced:
+            self._emit_spans(traced, dispatch_ids, backend_name,
+                             len(batch), dispatch_wall, time.time(),
+                             sign_start, sign_end, stage_seconds,
+                             stage_hashes)
         self.telemetry.record_batch(len(batch))
         for request, signature in zip(batch, signatures):
             wait_ms = (dispatch_started - request.enqueued_at) * 1000.0
@@ -318,6 +402,49 @@ class SigningService:
                     batch_size=len(batch), wait_ms=round(wait_ms, 3),
                     total_ms=round(total_ms, 3),
                 ))
+
+    def _emit_spans(self, traced: list[PendingSign],
+                    dispatch_ids: list[str], backend_name: str,
+                    batch_size: int, dispatch_wall: float,
+                    done_wall: float, sign_start: float, sign_end: float,
+                    stage_seconds: dict[str, float],
+                    stage_hashes: dict[str, int] | None) -> None:
+        """Per-request queue/dispatch/sign (+ signer stage) spans.
+
+        Every traced request in the batch gets the full breakdown — a
+        batch amortizes one backend call over its requests, so the stage
+        timings legitimately describe each request's critical path.
+        Stage sub-spans are laid out sequentially from the sign start;
+        the stages run in that order, so the reconstruction matches
+        reality to within the untimed gaps between them.
+        """
+        tracer = self.tracer
+        for request, dispatch_id in zip(traced, dispatch_ids):
+            trace = request.trace
+            tracer.record_span(
+                "queue", trace=trace, parent_id=trace.span_id,
+                start=request.enqueued_wall, end=dispatch_wall,
+                batch_size=batch_size)
+            tracer.record_span(
+                "dispatch", trace=trace, span_id=dispatch_id,
+                parent_id=trace.span_id, start=dispatch_wall,
+                end=done_wall, backend=backend_name,
+                batch_size=batch_size)
+            sign_id = new_span_id()
+            tracer.record_span(
+                "sign", trace=trace, span_id=sign_id,
+                parent_id=dispatch_id, start=sign_start, end=sign_end)
+            offset = sign_start
+            for stage, seconds in stage_seconds.items():
+                if stage in _AGGREGATE_STAGES:
+                    continue
+                attrs = {}
+                if stage_hashes and stage in stage_hashes:
+                    attrs["hashes"] = stage_hashes[stage]
+                tracer.record_span(
+                    stage, trace=trace, parent_id=sign_id,
+                    start=offset, end=offset + seconds, **attrs)
+                offset += seconds
 
     # ------------------------------------------------------------------
     # Introspection
@@ -380,6 +507,9 @@ class SigningServer:
                         if service.pool is not None else 0),
             "parameter_sets": sorted({service.keystore.params_for(name)
                                       for name in service.keystore.tenants()}),
+            # Capability flag: clients may attach a ``trace`` id to sign
+            # requests; spans are only recorded when a tracer is wired.
+            "trace": service.tracer is not None,
         }
 
     async def start(self) -> None:
@@ -388,6 +518,8 @@ class SigningServer:
             limit=protocol.LINE_LIMIT,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("server-started", host=self.host, port=self.port,
+                  backend=self.service.backend_name)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -398,6 +530,7 @@ class SigningServer:
 
     async def stop(self) -> None:
         """Drain queued work, then close the listener and connections."""
+        _log.info("server-stopping", port=self.port)
         await self.service.drain()
         self.service.close()
         if self._server is not None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
 from ..errors import OverloadedError, ProtocolError, UnknownVerbError
+from ..obs.trace import TraceContext, new_span_id, use_trace
 from . import protocol
 
 __all__ = ["ConnectionState", "FieldSpec", "Verb", "VerbRegistry",
@@ -78,6 +79,19 @@ def _version(value: object, name: str) -> int:
             f"{name!r} must be an integer >= 1 "
             f"(this server speaks {protocol.SUPPORTED_VERSIONS})"
         )
+    return value
+
+
+def _trace_id(value: object, name: str) -> str:
+    if not isinstance(value, str) or not value or len(value) > 64:
+        raise ProtocolError(
+            f"{name!r} must be a non-empty string of at most 64 chars")
+    return value
+
+
+def _format(value: object, name: str) -> str:
+    if value not in ("json", "prometheus"):
+        raise ProtocolError(f"{name!r} must be 'json' or 'prometheus'")
     return value
 
 
@@ -200,10 +214,14 @@ async def _verb_stats(server, conn: ConnectionState, args: dict) -> dict:
 
 
 async def _verb_sign(server, conn: ConnectionState, args: dict) -> dict:
-    outcome = await server.service.sign(
-        args["message"], args["tenant"], key_name=args["key"],
-        deadline_ms=args["deadline_ms"])
-    return {
+    # A client-sent trace id is installed as the ambient context for the
+    # service call, so the request's root span joins the client's trace.
+    with use_trace(TraceContext(args["trace"], new_span_id())
+                   if args.get("trace") else None):
+        outcome = await server.service.sign(
+            args["message"], args["tenant"], key_name=args["key"],
+            deadline_ms=args["deadline_ms"])
+    response = {
         "ok": True, "op": "sign",
         "signature": protocol.pack_bytes(outcome.signature),
         "params": outcome.params,
@@ -212,6 +230,9 @@ async def _verb_sign(server, conn: ConnectionState, args: dict) -> dict:
         "wait_ms": outcome.wait_ms,
         "total_ms": outcome.total_ms,
     }
+    if args.get("trace"):
+        response["trace"] = args["trace"]
+    return response
 
 
 async def _verb_verify(server, conn: ConnectionState, args: dict) -> dict:
@@ -227,11 +248,15 @@ async def _verb_sign_many(server, conn: ConnectionState, args: dict) -> dict:
     # one shed request does not discard its siblings' signatures.
     tenant, key = args["tenant"], args["key"]
     server.service.keystore.resolve(tenant, key)
-    outcomes = await asyncio.gather(
-        *(server.service.sign(message, tenant, key_name=key,
-                              deadline_ms=args["deadline_ms"])
-          for message in args["messages"]),
-        return_exceptions=True)
+    # One client trace id covers the whole frame: each message's root
+    # request span shares it (the breakdown keys stages per trace).
+    with use_trace(TraceContext(args["trace"], new_span_id())
+                   if args.get("trace") else None):
+        outcomes = await asyncio.gather(
+            *(server.service.sign(message, tenant, key_name=key,
+                                  deadline_ms=args["deadline_ms"])
+              for message in args["messages"]),
+            return_exceptions=True)
     results = []
     for outcome in outcomes:
         if isinstance(outcome, BaseException):
@@ -250,8 +275,20 @@ async def _verb_sign_many(server, conn: ConnectionState, args: dict) -> dict:
                 "wait_ms": outcome.wait_ms,
                 "total_ms": outcome.total_ms,
             })
-    return {"ok": True, "op": "sign-many", "tenant": tenant, "key": key,
-            "results": results}
+    response = {"ok": True, "op": "sign-many", "tenant": tenant,
+                "key": key, "results": results}
+    if args.get("trace"):
+        response["trace"] = args["trace"]
+    return response
+
+
+async def _verb_metrics(server, conn: ConnectionState, args: dict) -> dict:
+    registry = server.service.metrics_registry
+    if args["format"] == "prometheus":
+        return {"ok": True, "op": "metrics", "format": "prometheus",
+                "body": registry.render_prometheus()}
+    return {"ok": True, "op": "metrics", "format": "json",
+            "metrics": registry.collect()}
 
 
 async def _verb_keys(server, conn: ConnectionState, args: dict) -> dict:
@@ -275,7 +312,8 @@ def default_registry() -> VerbRegistry:
              fields=(_spec("tenant", _string),
                      _spec("key", _string, required=False, default="default"),
                      _spec("message", _b64),
-                     _spec("deadline_ms", _deadline, required=False)),
+                     _spec("deadline_ms", _deadline, required=False),
+                     _spec("trace", _trace_id, required=False)),
              summary="sign one message under a tenant key"),
         Verb("verify", _verb_verify, min_version=2,
              fields=(_spec("tenant", _string),
@@ -287,9 +325,14 @@ def default_registry() -> VerbRegistry:
              fields=(_spec("tenant", _string),
                      _spec("key", _string, required=False, default="default"),
                      _spec("messages", _b64_list),
-                     _spec("deadline_ms", _deadline, required=False)),
+                     _spec("deadline_ms", _deadline, required=False),
+                     _spec("trace", _trace_id, required=False)),
              summary="sign up to max_batch messages in one frame"),
         Verb("keys", _verb_keys, min_version=2,
              fields=(_spec("tenant", _string),),
              summary="list a tenant's named keys"),
+        Verb("metrics", _verb_metrics, min_version=2,
+             fields=(_spec("format", _format, required=False,
+                           default="json"),),
+             summary="unified metrics registry (json or prometheus)"),
     ))

@@ -1,0 +1,324 @@
+"""Observability end-to-end: traced signing across tiers, CLI, verbs.
+
+The acceptance criteria for the tracing work live here: every signed
+request in a traced run yields exactly one trace carrying queue /
+dispatch / sign spans, signatures are byte-identical with tracing on or
+off, and the export renders through ``repro trace``.
+"""
+
+import asyncio
+import json
+import urllib.request
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import AsyncClient, LocalClient
+from repro.obs import Tracer, parse_prometheus
+from repro.params import get_params
+from repro.service import (Keystore, SigningServer, SigningService,
+                           derive_seed)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def make_keystore(tenants=(("demo", "128f"),)):
+    keystore = Keystore()
+    for name, params in tenants:
+        keystore.add_tenant(name, params)
+        keystore.generate_key(
+            name, "default",
+            seed=derive_seed(f"{name}/default", get_params(params).n))
+    return keystore
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("target_batch_size", 4)
+    kwargs.setdefault("max_wait_s", 0.05)
+    kwargs.setdefault("deterministic", True)
+    return SigningService(make_keystore(), **kwargs)
+
+
+def assert_request_traces(tracer, expected_requests):
+    """Every signed request: one trace, with queue/dispatch/sign spans."""
+    traces = tracer.traces()
+    roots = [span for spans in traces.values() for span in spans
+             if span.name == "request" and span.parent_id is None]
+    assert len(roots) == expected_requests
+    assert len(traces) == expected_requests  # one trace per request
+    for trace_id, spans in traces.items():
+        names = [span.name for span in spans]
+        for required in ("request", "queue", "dispatch", "sign"):
+            assert required in names, (
+                f"trace {trace_id} missing {required!r}: {names}")
+        root = next(span for span in spans if span.name == "request")
+        by_id = {span.span_id: span for span in spans}
+        queue = next(span for span in spans if span.name == "queue")
+        dispatch = next(span for span in spans if span.name == "dispatch")
+        sign = next(span for span in spans if span.name == "sign")
+        assert queue.parent_id == root.span_id
+        assert dispatch.parent_id == root.span_id
+        assert sign.parent_id == dispatch.span_id
+        assert by_id[sign.parent_id].name == "dispatch"
+        assert root.attrs["tenant"] == "demo"
+    return traces
+
+
+class TestServiceTracing:
+    def test_every_request_yields_one_trace_with_stage_spans(self):
+        async def scenario():
+            tracer = Tracer()
+            service = make_service(target_batch_size=3, max_wait_s=10.0,
+                                   tracer=tracer)
+            await asyncio.wait_for(asyncio.gather(
+                *(service.sign(f"tx-{i}".encode(), "demo")
+                  for i in range(3))), timeout=60)
+            traces = assert_request_traces(tracer, expected_requests=3)
+            # The in-process path also reports signer stages under sign.
+            for spans in traces.values():
+                names = {span.name for span in spans}
+                assert {"prepare", "fors", "hypertree",
+                        "serialize"} <= names
+                sign = next(s for s in spans if s.name == "sign")
+                fors = next(s for s in spans if s.name == "fors")
+                assert fors.parent_id == sign.span_id
+
+        asyncio.run(scenario())
+
+    def test_signatures_byte_identical_tracing_on_vs_off(self):
+        async def scenario(tracer):
+            service = make_service(target_batch_size=2, max_wait_s=10.0,
+                                   tracer=tracer)
+            outcomes = await asyncio.wait_for(asyncio.gather(
+                service.sign(b"alpha", "demo"),
+                service.sign(b"beta", "demo")), timeout=60)
+            return [outcome.signature for outcome in outcomes]
+
+        plain = asyncio.run(scenario(None))
+        traced = asyncio.run(scenario(Tracer()))
+        assert plain == traced  # tracing must never perturb signing
+
+    def test_untraced_service_records_nothing(self):
+        async def scenario():
+            service = make_service()
+            await asyncio.wait_for(service.sign(b"x", "demo"), timeout=60)
+            assert service.tracer is None
+
+        asyncio.run(scenario())
+
+    def test_pooled_requests_carry_worker_spans(self):
+        async def scenario():
+            tracer = Tracer()
+            service = make_service(target_batch_size=2, max_wait_s=10.0,
+                                   workers=1, tracer=tracer)
+            try:
+                await asyncio.wait_for(asyncio.gather(
+                    service.sign(b"p0", "demo"),
+                    service.sign(b"p1", "demo")), timeout=120)
+            finally:
+                service.close()
+            traces = assert_request_traces(tracer, expected_requests=2)
+            # The worker reports its own span plus signer stages for the
+            # first traced request of the batch.
+            names = {span.name for spans in traces.values()
+                     for span in spans}
+            assert "worker" in names and "hypertree" in names
+
+        asyncio.run(scenario())
+
+
+class TestWireTracing:
+    def test_tcp_client_joins_server_trace(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+
+        async def scenario():
+            tracer = Tracer(out_path=str(out))
+            server = SigningServer(make_service(tracer=tracer), port=0)
+            await server.start()
+            client_tracer = Tracer()
+            client = await AsyncClient.connect(port=server.port,
+                                               tracer=client_tracer)
+            try:
+                results = await asyncio.gather(
+                    client.sign("demo", b"w0", deadline_ms=5000),
+                    client.sign("demo", b"w1", deadline_ms=5000))
+            finally:
+                await client.close()
+                await server.stop()
+            tracer.close()
+            assert len(results) == 2
+            server_traces = assert_request_traces(tracer,
+                                                  expected_requests=2)
+            # The client's root spans share the ids the server joined.
+            client_roots = [span for span in client_tracer.spans()
+                            if span.name == "client-request"]
+            assert {span.trace_id for span in client_roots} \
+                == set(server_traces)
+
+        asyncio.run(scenario())
+        # The JSONL export renders through the CLI.
+        assert main(["trace", "--input", str(out), "--top", "2"]) == 0
+
+    def test_sign_many_frame_shares_one_trace(self):
+        """A multi-message frame is one client operation: its requests
+        all join the frame's single trace, each with its own root."""
+        async def scenario():
+            tracer = Tracer()
+            server = SigningServer(make_service(tracer=tracer), port=0)
+            await server.start()
+            client = await AsyncClient.connect(port=server.port,
+                                               tracer=Tracer())
+            try:
+                await client.sign_many("demo", [b"f0", b"f1", b"f2"],
+                                       deadline_ms=5000)
+            finally:
+                await client.close()
+                await server.stop()
+            traces = tracer.traces()
+            assert len(traces) == 1
+            [spans] = traces.values()
+            roots = [s for s in spans if s.name == "request"]
+            assert len(roots) == 3
+
+        asyncio.run(scenario())
+
+    def test_server_without_tracer_ignores_trace_field(self):
+        async def scenario():
+            server = SigningServer(make_service(), port=0)
+            await server.start()
+            client = await AsyncClient.connect(port=server.port,
+                                               tracer=Tracer())
+            try:
+                # hello advertised trace=false, so the client neither
+                # attaches ids nor records client spans.
+                result = await client.sign("demo", b"plain",
+                                           deadline_ms=5000)
+                assert result.signature
+                assert client._tracer.spans() == []
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_metrics_verb_json_and_prometheus(self):
+        async def scenario():
+            server = SigningServer(make_service(), port=0)
+            await server.start()
+            client = await AsyncClient.connect(port=server.port)
+            try:
+                await client.sign("demo", b"m0", deadline_ms=5000)
+                wire = client._wire
+                families = (await wire.request(
+                    {"op": "metrics"}))["metrics"]
+                assert families["repro_requests_total"]["type"] == "counter"
+                reply = await wire.request(
+                    {"op": "metrics", "format": "prometheus"})
+                samples = parse_prometheus(reply["body"])
+                signed = [value for labels, value
+                          in samples["repro_requests_total"]
+                          if labels.get("outcome") == "signed"]
+                assert sum(signed) >= 1.0
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestLocalClientTracing:
+    def test_local_facade_traces_scheduler_stages(self):
+        tracer = Tracer()
+        client = LocalClient(deterministic=True, tracer=tracer)
+        client.add_tenant("acme")
+        try:
+            client.sign_many("acme", [b"l0", b"l1"])
+        finally:
+            client.close()
+        [(_, spans)] = tracer.traces().items()
+        names = [span.name for span in spans]
+        assert "client-request" in names and "sign" in names
+        assert {"prepare", "fors", "hypertree", "serialize"} \
+            <= set(names)
+        root = next(s for s in spans if s.name == "client-request")
+        sign = next(s for s in spans if s.name == "sign")
+        assert sign.parent_id == root.span_id
+        assert sign.trace_id == root.trace_id
+
+    def test_local_signatures_identical_with_tracer(self):
+        def run(tracer):
+            client = LocalClient(deterministic=True, tracer=tracer)
+            client.add_tenant("acme")
+            try:
+                return [r.signature for r
+                        in client.sign_many("acme", [b"s0", b"s1"])]
+            finally:
+                client.close()
+
+        assert run(None) == run(Tracer())
+
+
+class TestCli:
+    def test_loadtest_with_full_observability(self, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        logs = tmp_path / "service.jsonl"
+        code = main([
+            "loadtest", "--messages", "4", "--trace", "bursty",
+            "--rate", "400", "--deterministic",
+            "--trace-out", str(spans), "--metrics-port", "0",
+            "--log-json", str(logs)])
+        from repro.obs import configure_logging
+
+        configure_logging(None)  # the CLI configured the global sink
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics endpoint on http://" in out
+        assert "traces ->" in out
+        # Exactly one trace per signed request in the export.
+        records = [json.loads(line) for line
+                   in spans.read_text().splitlines()]
+        roots = [r for r in records
+                 if r["name"] == "request" and "parent" not in r]
+        assert len(roots) == 4
+        assert len({r["trace"] for r in records}) == 4
+        log_records = [json.loads(line) for line
+                       in logs.read_text().splitlines()]
+        assert {"server-started", "server-stopping"} <= {
+            r["event"] for r in log_records}
+        assert main(["trace", "--input", str(spans)]) == 0
+        rendered = capsys.readouterr().out
+        assert "Critical path" in rendered
+        assert "queue ms" in rendered and "hypertree ms" in rendered
+
+    def test_metrics_endpoint_scrapes_during_serve(self, tmp_path):
+        """--metrics-port exposes a live, parseable Prometheus page."""
+        from repro.obs import MetricsServer
+
+        async def scenario():
+            service = make_service()
+            server = SigningServer(service, port=0)
+            await server.start()
+            endpoint = MetricsServer(service.metrics_registry,
+                                     port=0).start()
+            try:
+                client = await AsyncClient.connect(port=server.port)
+                await client.sign("demo", b"scrape-me", deadline_ms=5000)
+                await client.close()
+                url = f"http://127.0.0.1:{endpoint.port}/metrics"
+                with urllib.request.urlopen(url) as reply:
+                    samples = parse_prometheus(reply.read().decode())
+                assert "repro_requests_total" in samples
+                assert "repro_batches_total" in samples
+            finally:
+                endpoint.close()
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_trace_cli_bad_input_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "missing.jsonl"
+        assert main(["trace", "--input", str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("not json\n")
+        assert main(["trace", "--input", str(junk)]) == 2

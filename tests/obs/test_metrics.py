@@ -1,0 +1,153 @@
+"""The unified metrics registry, exposition round-trip, scrape endpoint."""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import (MetricsRegistry, MetricsServer,
+                               parse_prometheus, render_prometheus)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_requests_total", tenant="acme")
+        b = registry.counter("repro_requests_total", tenant="acme")
+        other = registry.counter("repro_requests_total", tenant="edge")
+        assert a is b and a is not other
+        a.inc()
+        a.inc(2)
+        collected = registry.collect()["repro_requests_total"]
+        values = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in collected["series"]}
+        assert values[(("tenant", "acme"),)] == 3.0
+        assert values[(("tenant", "edge"),)] == 0.0
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("repro_thing")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 99.0):
+            histogram.observe(value)
+        [series] = registry.collect()["repro_lat"]["series"]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(105.2)
+        assert series["buckets"] == {"1": 2, "10": 3, "+Inf": 4}
+
+    def test_raising_collector_is_counted_not_raised(self):
+        registry = MetricsRegistry()
+
+        def bad(_registry):
+            raise RuntimeError("scrape-time boom")
+
+        registry.add_collector("pool", bad)
+        registry.gauge("repro_ok").set(1)
+        collected = registry.collect()  # must not raise
+        [series] = collected["repro_collector_errors_total"]["series"]
+        assert series["labels"] == {"collector": "pool",
+                                    "error": "RuntimeError"}
+        assert series["value"] == 1.0
+
+    def test_concurrent_recording_loses_nothing(self):
+        """Satellite: thread + asyncio loop hammering one registry."""
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+        histogram = registry.histogram("repro_obs", buckets=(10.0,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(1.0)
+
+        async def async_hammer():
+            for _ in range(10):
+                await asyncio.sleep(0)
+                for _ in range(100):
+                    counter.inc()
+                    histogram.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        asyncio.run(async_hammer())
+        for thread in threads:
+            thread.join()
+        assert counter.value == 5000
+        assert histogram.count == 5000
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "Requests",
+                         tenant="acme", outcome="signed").inc(7)
+        registry.gauge("repro_queue_depth", "Depth").set(3)
+        registry.histogram("repro_latency_ms", "Latency",
+                           buckets=(5.0, 50.0)).observe(12.0)
+        return registry
+
+    def test_render_parse_round_trip(self):
+        text = self._populated().render_prometheus()
+        samples = parse_prometheus(text)
+        assert samples["repro_requests_total"] == [
+            ({"outcome": "signed", "tenant": "acme"}, 7.0)]
+        assert samples["repro_queue_depth"] == [({}, 3.0)]
+        buckets = dict((labels["le"], value) for labels, value
+                       in samples["repro_latency_ms_bucket"])
+        assert buckets == {"5": 0.0, "50": 1.0, "+Inf": 1.0}
+        assert samples["repro_latency_ms_count"] == [({}, 1.0)]
+        assert "# TYPE repro_latency_ms histogram" in text
+
+    def test_label_escaping_survives_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = 'quo"te\\slash'
+        registry.counter("repro_edge_total", tenant=hostile).inc()
+        samples = parse_prometheus(registry.render_prometheus())
+        [(labels, value)] = samples["repro_edge_total"]
+        assert labels == {"tenant": hostile} and value == 1.0
+
+    def test_parser_is_strict(self):
+        with pytest.raises(ValueError, match="no samples"):
+            parse_prometheus("# only comments\n")
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("repro_x not-a-number\n")
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prometheus('repro_x{tenant="acme 1\n')
+
+    def test_render_prometheus_accepts_collected_dict(self):
+        registry = self._populated()
+        assert (render_prometheus(registry.collect())
+                == registry.render_prometheus())
+
+
+class TestMetricsServer:
+    def test_scrape_text_and_json(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", tenant="acme").inc(2)
+        endpoint = MetricsServer(registry, port=0).start()
+        try:
+            assert endpoint.port > 0
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{endpoint.port}/metrics") as reply:
+                assert reply.headers["Content-Type"].startswith("text/plain")
+                samples = parse_prometheus(reply.read().decode())
+            assert samples["repro_requests_total"] == [
+                ({"tenant": "acme"}, 2.0)]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{endpoint.port}"
+                    "/metrics?format=json") as reply:
+                families = json.loads(reply.read())
+            assert families["repro_requests_total"]["type"] == "counter"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{endpoint.port}/nope")
+        finally:
+            endpoint.close()

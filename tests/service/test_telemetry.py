@@ -1,8 +1,12 @@
 """Telemetry counters, percentiles, and snapshot rendering."""
 
+import asyncio
 import json
+import threading
+import time
 
 from repro.service import Telemetry, percentile, render_snapshot
+from repro.service.telemetry import SNAPSHOT_SCHEMA
 
 
 class TestPercentile:
@@ -62,12 +66,141 @@ class TestTelemetry:
         telemetry = Telemetry()
         telemetry.record_signed("acme", 100.0, 5.0)
         telemetry.record_batch(1)
-        local = telemetry.report(title="local view")
+        snapshot = telemetry.snapshot()
+        local = render_snapshot(snapshot, title="local view")
         assert "local view" in local and "acme" in local
         assert "p50" in local and "p95" in local and "p99" in local
-        # A snapshot that crossed the wire renders identically.
-        remote = json.loads(json.dumps(telemetry.snapshot()))
+        # The same snapshot after crossing the wire renders identically
+        # (a fresh one would differ only in its live uptime_s reading).
+        remote = json.loads(json.dumps(snapshot))
         assert render_snapshot(remote, title="local view") == local
 
     def test_render_empty_snapshot(self):
         assert "Batch-size histogram" in render_snapshot({})
+
+
+class TestSnapshotShape:
+    def test_schema_version_and_uptime(self):
+        telemetry = Telemetry()
+        snapshot = telemetry.snapshot()
+        assert snapshot["snapshot_schema"] == SNAPSHOT_SCHEMA
+        # started_at is rounded to the millisecond, so allow the round-up.
+        assert abs(snapshot["started_at"] - time.time()) < 1.0
+        assert snapshot["uptime_s"] >= 0.0
+        time.sleep(0.01)
+        assert telemetry.snapshot()["uptime_s"] > snapshot["uptime_s"]
+
+    def test_raising_provider_reports_error_not_poison(self):
+        """Regression: one bad provider must not kill the stats verb."""
+        telemetry = Telemetry()
+        telemetry.record_signed("acme", 10.0, 1.0)
+        telemetry.set_pool_provider(
+            lambda: (_ for _ in ()).throw(TypeError("stats hook broke")))
+        telemetry.set_cache_provider(lambda: {"scopes": {"s": {"hits": 1}}})
+        snapshot = telemetry.snapshot()
+        assert snapshot["pool"] == {
+            "error": "TypeError: stats hook broke"}
+        # The healthy provider and every base section still ship.
+        assert snapshot["cache"]["scopes"]["s"]["hits"] == 1
+        assert snapshot["tenants"]["acme"]["signed"] == 1
+        json.dumps(snapshot)  # and the result is still JSON-safe
+        # render_snapshot of the degraded shape must not raise either.
+        assert "acme" in telemetry.report()
+
+    def test_provider_sections_are_deep_copied(self):
+        """A caller mutating the snapshot must not corrupt provider
+        state shared with the live dispatcher."""
+        live = {"workers": 2, "per_worker": {"0": {"signed": 5}}}
+        telemetry = Telemetry()
+        telemetry.set_pool_provider(lambda: live)
+        snapshot = telemetry.snapshot()
+        snapshot["pool"]["per_worker"]["0"]["signed"] = 999
+        snapshot["pool"]["workers"] = 0
+        assert live == {"workers": 2, "per_worker": {"0": {"signed": 5}}}
+
+    def test_empty_provider_sections(self):
+        telemetry = Telemetry()
+        telemetry.set_pool_provider(lambda: {})
+        telemetry.set_cache_provider(lambda: {})
+        snapshot = telemetry.snapshot()
+        assert snapshot["pool"] == {}
+        assert "cache" not in snapshot
+
+
+class TestConcurrentRecording:
+    def test_thread_and_event_loop_lose_no_increments(self):
+        """Satellite: a worker-pool collector thread and the service's
+        asyncio loop record into one Telemetry concurrently."""
+        telemetry = Telemetry(latency_window=100_000)
+
+        def thread_half():
+            for _ in range(2000):
+                telemetry.record_submitted("acme")
+                telemetry.record_signed("acme", 1.0, 0.5)
+                telemetry.record_batch(4)
+
+        async def loop_half():
+            for _ in range(20):
+                await asyncio.sleep(0)
+                for _ in range(100):
+                    telemetry.record_submitted("acme")
+                    telemetry.record_signed("acme", 2.0, 1.0)
+                    telemetry.record_batch(8)
+                    telemetry.observe_depth(3)
+
+        threads = [threading.Thread(target=thread_half) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        asyncio.run(loop_half())
+        for thread in threads:
+            thread.join()
+
+        snapshot = telemetry.snapshot()
+        assert snapshot["tenants"]["acme"] == {
+            "submitted": 6000, "signed": 6000, "shed": 0, "failed": 0}
+        assert snapshot["batches"]["dispatched"] == 6000
+        assert snapshot["batches"]["histogram"] == {"4": 4000, "8": 2000}
+        assert snapshot["latency_ms"]["total"]["count"] == 6000
+        # And the dual-written registry agrees with the legacy counters.
+        families = telemetry.registry.collect()
+        signed = [s["value"] for s
+                  in families["repro_requests_total"]["series"]
+                  if s["labels"].get("outcome") == "signed"]
+        assert sum(signed) == 6000.0
+
+
+class TestRegistryDualWrite:
+    def test_counters_land_in_the_unified_registry(self):
+        telemetry = Telemetry()
+        telemetry.record_submitted("acme")
+        telemetry.record_shed("acme")
+        telemetry.record_failed("edge", 2)
+        telemetry.record_batch(4)
+        telemetry.observe_depth(7)
+        families = telemetry.registry.collect()
+        by_labels = {tuple(sorted(s["labels"].items())): s["value"]
+                     for s in families["repro_requests_total"]["series"]}
+        assert by_labels[("outcome", "submitted"), ("tenant", "acme")] == 2
+        assert by_labels[("outcome", "shed"), ("tenant", "acme")] == 1
+        assert by_labels[("outcome", "failed"), ("tenant", "edge")] == 2
+        [batches] = families["repro_batches_total"]["series"]
+        assert batches["value"] == 1.0
+        [depth] = families["repro_queue_depth"]["series"]
+        assert depth["value"] == 7.0
+
+    def test_pool_and_cache_providers_feed_scrape_gauges(self):
+        telemetry = Telemetry()
+        telemetry.set_pool_provider(lambda: {
+            "workers": 2, "alive": 2, "requeues": 0, "respawns": 1,
+            "per_worker": {"0": {"utilization": 0.5, "signed": 9}}})
+        telemetry.set_cache_provider(lambda: {
+            "scopes": {"worker-0": {"hits": 11, "bytes": 2048}}})
+        families = telemetry.registry.collect()
+        [respawns] = families["repro_pool_respawns"]["series"]
+        assert respawns["value"] == 1.0
+        [signed] = families["repro_worker_signed"]["series"]
+        assert signed["labels"] == {"worker": "0"}
+        assert signed["value"] == 9.0
+        [hits] = families["repro_cache_hits"]["series"]
+        assert hits["labels"] == {"scope": "worker-0"}
+        assert hits["value"] == 11.0
