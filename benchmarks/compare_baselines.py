@@ -3,7 +3,7 @@
 
 The JSON perf baselines (``backend_throughput.json``,
 ``service_latency.json``, ``pool_scaling.json``,
-``obs_overhead.json``) live under
+``obs_overhead.json``, ``wire_efficiency.json``) live under
 ``benchmarks/results/`` (full mode) and ``benchmarks/results/smoke/``
 (``REPRO_SMOKE=1`` mode) and are committed to the repository.  Running
 the benchmarks rewrites the mode's files in the working tree; this
@@ -60,6 +60,7 @@ BASELINE_SOURCES = {
     "service_latency.json": "test_service_latency.py",
     "pool_scaling.json": "test_pool_scaling.py",
     "obs_overhead.json": "test_obs_overhead.py",
+    "wire_efficiency.json": "test_wire_efficiency.py",
 }
 
 
@@ -110,6 +111,16 @@ WATCHED: dict[str, list[Metric]] = {
         # gate only engages once a real overhead has been pinned.
         Metric(("overhead_fraction",), higher_is_better=False,
                optional=True),
+    ],
+    "wire_efficiency.json": [
+        # Bytes moved per signature are deterministic for a fixed
+        # message shape; the v3 framing PR's >=25% reduction must hold.
+        Metric(("live", "bytes_reduction"), higher_is_better=True),
+        Metric(("live", "v3_bytes_per_sig"), higher_is_better=False),
+        Metric(("codec", "cpu_speedup"), higher_is_better=True),
+        # Median of drift-cancelling paired rounds — the stable form
+        # of "v3 spends less CPU per signature than v2".
+        Metric(("live", "cpu_saved_s_per_sig"), higher_is_better=True),
     ],
 }
 

@@ -7,15 +7,17 @@ sign / verify
     (``repro.api``): ``--transport local`` signs in-process,
     ``--transport pooled`` fans out across a worker pool, and
     ``--transport tcp`` drives a remote ``serve-async`` service over
-    protocol v2 — same flags, same output, any tier.
+    protocol v3 (or the ``--protocol 2`` JSON downgrade) — same flags,
+    same output, any tier.
 serve
     Drive the batch-signing runtime end-to-end: queue messages through
     the BatchScheduler, sign them on the selected backends, and report
     per-backend throughput.
 serve-async
     Run the asyncio signing service: multi-tenant keystore,
-    deadline-aware batching, admission control, a newline-delimited JSON
-    TCP protocol, and a ``stats`` telemetry verb.
+    deadline-aware batching, admission control, a TCP wire protocol
+    (JSON lines for v1/v2 clients, zero-copy binary frames with
+    streamed sign-many after a v3 hello), and a ``stats`` verb.
 loadtest
     Drive a signing service with a generated arrival trace (poisson /
     bursty / ramp) and print client latency percentiles plus the
@@ -71,8 +73,12 @@ def _make_api_client(args: argparse.Namespace, command: str):
             print(f"{command}: --connect wants HOST:PORT, got "
                   f"{args.connect!r}", file=sys.stderr)
             return None, 2
+        options = {}
+        if getattr(args, "protocol", None):
+            options["version"] = args.protocol
         try:
-            return api.connect("tcp", host=target[0], port=target[1]), None
+            return api.connect("tcp", host=target[0], port=target[1],
+                               **options), None
         except (ConnectionError, OSError, api.ServiceError) as exc:
             print(f"{command}: cannot reach {target[0]}:{target[1]} — "
                   f"{exc}", file=sys.stderr)
@@ -350,9 +356,10 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
                   "budget, tenant keys prewarmed")
         if args.trace_out:
             print(f"  tracing       : spans -> {args.trace_out}")
-        print("  protocol      : v2 (hello negotiation; verbs: sign, "
-              "sign-many, verify, keys, stats, metrics, ping); v1 "
-              "clients served unchanged; Ctrl-C to stop")
+        print("  protocol      : v3 binary frames with streamed "
+              "sign-many (hello negotiation; verbs: sign, sign-many, "
+              "verify, keys, stats, metrics, ping); v1/v2 JSON clients "
+              "served unchanged; Ctrl-C to stop")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -399,14 +406,20 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     async def run() -> int:
         server = None
         metrics = None
+        version = args.protocol or 3
         if args.connect:
-            client = await AsyncClient.connect(host, port)
+            client = await AsyncClient.connect(host, port, version=version)
         else:
             server = SigningServer(_build_service(args), port=0)
             await server.start()
             metrics = _start_metrics(args, server.service)
             print(f"self-hosted signing service on 127.0.0.1:{server.port}")
-            client = await AsyncClient.connect(port=server.port)
+            client = await AsyncClient.connect(port=server.port,
+                                               version=version)
+        print(f"wire protocol : v{client.info().protocol_version}"
+              + (" (binary frames, streamed sign-many)"
+                 if client.info().protocol_version >= 3
+                 else " (JSON lines)"))
 
         async def signer(message: bytes):
             return await client.sign(tenant, message,
@@ -573,10 +586,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import load_spans, render_critical_path
 
+    # Exit codes: 0 report rendered, 2 unusable input (missing /
+    # unreadable file, or a file with no parseable spans) — one line on
+    # stderr either way, never a traceback.
     try:
         spans = load_spans(args.input)
-    except (OSError, ValueError) as exc:
-        print(f"trace: cannot read {args.input!r}: {exc}", file=sys.stderr)
+    except OSError as exc:
+        print(f"trace: cannot read {args.input!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
         return 2
     if not spans:
         print(f"trace: no spans in {args.input!r}", file=sys.stderr)
@@ -596,6 +616,11 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--connect", default=None, metavar="HOST:PORT",
                        help="target service for --transport tcp "
                             "(default 127.0.0.1:7744)")
+        p.add_argument("--protocol", type=int, default=None,
+                       choices=(2, 3),
+                       help="wire protocol to offer for --transport tcp "
+                            "(default: v3 binary frames, with automatic "
+                            "downgrade to v2 JSON lines)")
         p.add_argument("--workers", type=int, default=2,
                        help="worker-pool size for --transport pooled")
         p.add_argument("--tenant", default="cli",
@@ -668,6 +693,10 @@ def main(argv: list[str] | None = None) -> int:
     p_loadtest.add_argument("--seed", type=int, default=0)
     p_loadtest.add_argument("--time-scale", type=float, default=1.0,
                             help="multiply trace offsets (0.5 = 2x faster)")
+    p_loadtest.add_argument("--protocol", type=int, default=None,
+                            choices=(2, 3),
+                            help="wire protocol to offer (default: v3 "
+                                 "binary frames, auto-downgrade to v2)")
     _add_service_args(p_loadtest)
     p_loadtest.set_defaults(func=_cmd_loadtest)
 

@@ -155,7 +155,10 @@ class LocalClient(SigningClient):
                 # One trace per facade batch: the root client-request
                 # span plus the scheduler's sign/stage spans underneath.
                 ctx = current_trace() or start_trace()
+                # Wall clock anchors the span; duration is monotonic so
+                # an NTP step mid-batch cannot distort it.
                 started = time.time()
+                started_mono = time.perf_counter()
                 with use_trace(ctx):
                     tickets = [scheduler.submit(request.message,
                                                 params=params_name)
@@ -163,8 +166,9 @@ class LocalClient(SigningClient):
                     [stats] = scheduler.flush()
                 self.tracer.record_span(
                     "client-request", trace=ctx, span_id=ctx.span_id,
-                    start=started, end=time.time(), tenant=tenant,
-                    key=key, batch_size=len(members))
+                    start=started,
+                    end=started + (time.perf_counter() - started_mono),
+                    tenant=tenant, key=key, batch_size=len(members))
             else:
                 tickets = [scheduler.submit(request.message,
                                             params=params_name)

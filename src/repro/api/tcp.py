@@ -1,10 +1,14 @@
-"""The TCP transports: protocol-v2 clients over the wire protocol.
+"""The TCP transports: typed clients over the wire protocol.
 
 :class:`AsyncClient` is the asyncio-native typed client: it wraps the
 wire-level :class:`~repro.service.client.ServiceClient` (pipelined
 frames, id matching), performs the ``hello`` version/capability
 negotiation at connect time, chunks ``sign_many`` into ``max_batch``
 frames, and returns the same typed results as every other transport.
+By default it offers protocol v3 — zero-copy binary frames with
+streamed ``sign-many`` results — and transparently downgrades to the
+v2 JSON lines against an older server (``min_version`` guards how far
+down it will go); the typed surface is identical either way.
 
 :class:`TcpClient` is the synchronous facade for non-async callers: it
 runs an :class:`AsyncClient` on a dedicated background event loop thread
@@ -46,13 +50,15 @@ def _sign_result(response: dict, request: SignRequest,
 
 
 class AsyncClient:
-    """Typed asyncio client over protocol v2.
+    """Typed asyncio client over protocol v3 (or the v2 downgrade).
 
     Construct with :meth:`connect`, which negotiates the protocol
     version; the server's downgrade offer is rejected with
     :class:`UnsupportedVersionError` when it falls below *min_version*.
-    The negotiated capabilities are available as :meth:`info` without a
-    round trip.
+    On a v3 grant the wire client flips to binary frames automatically —
+    sign/verify ride the zero-copy codec and ``sign_many`` streams per
+    item.  The negotiated capabilities are available as :meth:`info`
+    without a round trip.
     """
 
     transport = "tcp"
@@ -154,19 +160,26 @@ class AsyncClient:
     # ------------------------------------------------------------------
     # Transport primitives (request-object level, shared with TcpClient)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _check_frame_fit(message: bytes, extra: int = 0) -> None:
-        """Reject payloads whose frame would overflow the server's line
-        limit *before* writing — an oversized line is answered with an
+    def _message_budget(self) -> int:
+        """Raw message bytes one frame can carry in the current mode:
+        v3 frames skip base64, so the same 1 MiB wire cap fits ~33%
+        more payload than a v2 JSON line."""
+        return (protocol.MAX_MESSAGE_BYTES_V3 if self._wire.binary
+                else protocol.MAX_MESSAGE_BYTES)
+
+    def _check_frame_fit(self, message: bytes, extra: int = 0) -> None:
+        """Reject payloads whose frame would overflow the server's wire
+        limit *before* writing — an oversized frame is answered with an
         unmatchable error and costs the whole connection.  ``extra``
         counts other raw binary riding the same frame (a verify frame
         carries the signature next to the message)."""
-        if len(message) + extra > protocol.MAX_MESSAGE_BYTES:
+        budget = self._message_budget()
+        if len(message) + extra > budget:
             from ..errors import ProtocolError
 
             raise ProtocolError(
                 f"message of {len(message)} bytes exceeds the wire "
-                f"frame bound ({protocol.MAX_MESSAGE_BYTES - extra} "
+                f"frame bound ({budget - extra} "
                 "bytes for this verb); sign a digest instead, or use "
                 "the local transport"
             )
@@ -187,81 +200,136 @@ class AsyncClient:
 
     async def _sign(self, request: SignRequest) -> SignResult:
         self._check_frame_fit(request.message)
-        payload = {"op": "sign", "tenant": request.tenant,
-                   "key": request.key,
-                   "message": protocol.pack_bytes(request.message)}
-        if request.deadline_ms is not None:
-            payload["deadline_ms"] = request.deadline_ms
         ctx = self._trace_for_frame()
-        if ctx is not None:
-            payload["trace"] = ctx.trace_id
-        started = time.time()
-        response = await self._wire.request(payload)
+        # Span timestamps anchor on one wall-clock read; the duration
+        # comes from the monotonic clock, so a wall step (NTP) cannot
+        # produce a negative or inflated client-request span.
+        started_wall = time.time()
+        started_mono = time.perf_counter()
+        if self._wire.binary:
+            response = await self._wire.request_frame(
+                protocol.FRAME_CODES["sign"],
+                protocol.pack_sign_request(
+                    request.tenant, request.key, request.message,
+                    request.deadline_ms,
+                    ctx.trace_id if ctx is not None else None))
+            signature = response["signature"]
+        else:
+            payload = {"op": "sign", "tenant": request.tenant,
+                       "key": request.key,
+                       "message": protocol.pack_bytes(request.message)}
+            if request.deadline_ms is not None:
+                payload["deadline_ms"] = request.deadline_ms
+            if ctx is not None:
+                payload["trace"] = ctx.trace_id
+            response = await self._wire.request(payload)
+            signature = None
         if ctx is not None and self._tracer is not None:
             self._tracer.record_span(
                 "client-request", trace=ctx, span_id=ctx.span_id,
-                start=started, end=time.time(), tenant=request.tenant,
-                key=request.key)
-        return _sign_result(response, request)
+                start=started_wall,
+                end=started_wall + (time.perf_counter() - started_mono),
+                tenant=request.tenant, key=request.key)
+        return _sign_result(response, request, signature=signature)
 
-    async def _sign_many(self, requests: Sequence[SignRequest]
-                         ) -> list[SignResult]:
-        # Chunk greedily by both the server's max_batch and the frame's
-        # byte budget (many large messages must not overflow one line);
-        # frames pipeline on one socket, so chunking costs latency only
-        # when the server is the bottleneck.
-        for request in requests:
-            self._check_frame_fit(request.message)
+    def _chunk(self, requests: Sequence[SignRequest]
+               ) -> list[list[SignRequest]]:
+        """Chunk greedily by both the server's max_batch and the frame's
+        byte budget (many large messages must not overflow one frame);
+        frames pipeline on one socket, so chunking costs latency only
+        when the server is the bottleneck.  Never emits an empty chunk —
+        an empty batch means no chunks, and therefore no wire traffic.
+        """
         limit = self._info.max_batch or len(requests)
-        budget = protocol.MAX_MESSAGE_BYTES
-        chunks: list[list[SignRequest]] = [[]]
+        budget = self._message_budget()
+        chunks: list[list[SignRequest]] = []
         chunk_bytes = 0
         for request in requests:
             size = len(request.message)
-            if chunks[-1] and (len(chunks[-1]) >= limit
-                               or chunk_bytes + size > budget):
+            if not chunks or len(chunks[-1]) >= limit \
+                    or chunk_bytes + size > budget:
                 chunks.append([])
                 chunk_bytes = 0
             chunks[-1].append(request)
             chunk_bytes += size
+        return chunks
+
+    async def _sign_many(self, requests: Sequence[SignRequest]
+                         ) -> list[SignResult]:
+        if not requests:
+            # Nothing to sign: answering locally matters because a
+            # zero-message sign-many frame is a protocol error — the old
+            # chunker seeded one empty chunk and sent it anyway.
+            return []
+        for request in requests:
+            self._check_frame_fit(request.message)
+        chunks = self._chunk(requests)
         contexts = [self._trace_for_frame() for _ in chunks]
-        started = time.time()
-        responses = await asyncio.gather(*(
-            self._wire.request({
-                "op": "sign-many",
-                "tenant": chunk[0].tenant, "key": chunk[0].key,
-                "messages": [protocol.pack_bytes(request.message)
-                             for request in chunk],
-                **({"deadline_ms": chunk[0].deadline_ms}
-                   if chunk[0].deadline_ms is not None else {}),
-                **({"trace": ctx.trace_id} if ctx is not None else {}),
-            }) for chunk, ctx in zip(chunks, contexts)))
+        started_wall = time.time()
+        started_mono = time.perf_counter()
+        if self._wire.binary:
+            responses = await asyncio.gather(*(
+                self._wire.sign_many_stream(
+                    chunk[0].tenant,
+                    [request.message for request in chunk],
+                    key_name=chunk[0].key,
+                    deadline_ms=chunk[0].deadline_ms,
+                    trace=ctx.trace_id if ctx is not None else None)
+                for chunk, ctx in zip(chunks, contexts)))
+        else:
+            responses = [response["results"] for response in
+                         await asyncio.gather(*(
+                             self._wire.request({
+                                 "op": "sign-many",
+                                 "tenant": chunk[0].tenant,
+                                 "key": chunk[0].key,
+                                 "messages": [
+                                     protocol.pack_bytes(request.message)
+                                     for request in chunk],
+                                 **({"deadline_ms": chunk[0].deadline_ms}
+                                    if chunk[0].deadline_ms is not None
+                                    else {}),
+                                 **({"trace": ctx.trace_id}
+                                    if ctx is not None else {}),
+                             }) for chunk, ctx in zip(chunks, contexts)))]
         if self._tracer is not None:
-            ended = time.time()
+            ended = started_wall + (time.perf_counter() - started_mono)
             for chunk, ctx in zip(chunks, contexts):
                 if ctx is not None:
                     self._tracer.record_span(
                         "client-request", trace=ctx, span_id=ctx.span_id,
-                        start=started, end=ended,
+                        start=started_wall, end=ended,
                         tenant=chunk[0].tenant, key=chunk[0].key,
                         batch_size=len(chunk))
         results: list[SignResult] = []
-        for chunk, response in zip(chunks, responses):
-            for request, item in zip(chunk, response["results"]):
+        for chunk, items in zip(chunks, responses):
+            for request, item in zip(chunk, items):
                 if not item.get("ok"):
                     raise protocol.error_type(item.get("error"))(
                         item.get("detail", "sign-many item failed"))
-                results.append(_sign_result(item, request))
+                signature = item["signature"]
+                results.append(_sign_result(
+                    item, request,
+                    signature=(signature if isinstance(signature, bytes)
+                               else None)))
         return results
 
     async def _verify(self, request: VerifyRequest) -> VerifyResult:
         self._check_frame_fit(request.message,
                               extra=len(request.signature))
-        response = await self._wire.request({
-            "op": "verify", "tenant": request.tenant, "key": request.key,
-            "message": protocol.pack_bytes(request.message),
-            "signature": protocol.pack_bytes(request.signature),
-        })
+        if self._wire.binary:
+            response = await self._wire.request_frame(
+                protocol.FRAME_CODES["verify"],
+                protocol.pack_verify_request(
+                    request.tenant, request.key, request.message,
+                    request.signature))
+        else:
+            response = await self._wire.request({
+                "op": "verify", "tenant": request.tenant,
+                "key": request.key,
+                "message": protocol.pack_bytes(request.message),
+                "signature": protocol.pack_bytes(request.signature),
+            })
         return VerifyResult(valid=response["valid"], tenant=request.tenant,
                             key=request.key, params=response["params"],
                             transport=self.transport)

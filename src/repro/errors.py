@@ -71,6 +71,13 @@ class ProtocolError(ServiceError, ValueError):
     """A malformed wire message on the newline-delimited JSON protocol."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A protocol-v3 binary frame declared a length beyond the frame
+    limit.  The stream cannot be resynchronized past an oversized frame
+    (the body was never read), so the connection must close after the
+    error is reported."""
+
+
 class UnknownVerbError(ProtocolError):
     """A request named a verb the negotiated protocol version does not
     serve — either a typo or a v2-only verb on a v1 connection."""

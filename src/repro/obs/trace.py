@@ -206,11 +206,16 @@ class Tracer:
         """
         parent = trace if trace is not None else current_trace()
         ctx = parent.child() if parent is not None else start_trace()
+        # One wall-clock read anchors the span on the timeline; the
+        # duration comes from the monotonic clock, so a wall step (NTP)
+        # inside the block cannot yield a negative or inflated span.
         started = time.time()
+        started_mono = time.perf_counter()
         with use_trace(ctx):
             yield ctx
         self.record_span(
-            name, trace=ctx, start=started, end=time.time(),
+            name, trace=ctx, start=started,
+            end=started + (time.perf_counter() - started_mono),
             parent_id=parent.span_id if parent is not None else None,
             span_id=ctx.span_id, **attrs)
 

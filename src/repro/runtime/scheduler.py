@@ -226,10 +226,16 @@ class BatchScheduler:
         # backend (bad route, misconfiguration) must not strand tickets.
         backend = self.backend_for(params_name, backend_name)
         keys = self.keys_for(params_name)
+        # Wall clock anchors the sign span once; its end is derived from
+        # the monotonic clock so an NTP step mid-batch cannot produce a
+        # negative or inflated span.
         sign_start = time.time() if self.tracer is not None else 0.0
+        sign_mono = time.perf_counter()
         result = backend.sign_batch(queue.messages, keys)
         if self.tracer is not None:
-            self._record_spans(result, sign_start, time.time())
+            self._record_spans(result, sign_start,
+                               sign_start + (time.perf_counter()
+                                             - sign_mono))
         if len(result.signatures) != len(queue.messages):
             raise BackendError(
                 f"backend {backend_name!r} returned {len(result.signatures)} "

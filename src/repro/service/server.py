@@ -38,8 +38,8 @@ import contextlib
 import time
 from dataclasses import dataclass
 
-from ..errors import (KeystoreError, OverloadedError, ProtocolError,
-                      ServiceError, UnknownVerbError)
+from ..errors import (FrameTooLargeError, KeystoreError, OverloadedError,
+                      ProtocolError, ServiceError)
 from ..obs.log import get_logger
 from ..obs.trace import (TraceContext, Tracer, current_trace, new_span_id,
                          new_trace_id, tap_stages)
@@ -52,7 +52,8 @@ from .batcher import DeadlineBatcher, PendingSign, QueueKey
 from .dispatch import ShardedDispatcher
 from .keystore import Keystore
 from .telemetry import Telemetry, render_snapshot
-from .verbs import ConnectionState, VerbRegistry, default_registry
+from .verbs import (ConnectionState, VerbRegistry, default_registry,
+                    error_body, serve_frame)
 
 __all__ = ["SignOutcome", "SigningService", "SigningServer"]
 
@@ -224,7 +225,7 @@ class SigningService:
         self.telemetry.observe_depth(depth + 1)
         budget_s = None if deadline_ms is None else deadline_ms / 1000.0
         trace = None
-        submitted_wall = 0.0
+        submitted_wall = submitted_mono = 0.0
         if self.tracer is not None:
             # Root span of this request's trace.  The trace id comes from
             # the caller's ambient context (the TCP verb layer installs
@@ -236,13 +237,18 @@ class SigningService:
                 incoming.trace_id if incoming is not None
                 else new_trace_id(),
                 new_span_id())
+            # Wall clock anchors the span on the timeline once; the
+            # duration comes from the monotonic clock so an NTP step
+            # mid-request cannot yield a negative or inflated span.
             submitted_wall = time.time()
+            submitted_mono = time.perf_counter()
         outcome = await self.batcher.submit(tenant, key_name, message,
                                             budget_s=budget_s, trace=trace)
         if trace is not None:
             self.tracer.record_span(
                 "request", trace=trace, span_id=trace.span_id,
-                start=submitted_wall, end=time.time(),
+                start=submitted_wall,
+                end=submitted_wall + (time.perf_counter() - submitted_mono),
                 tenant=tenant, key=key_name, backend=outcome.backend,
                 batch_size=outcome.batch_size)
         return outcome
@@ -329,12 +335,17 @@ class SigningService:
                 # as its own task, so nothing here awaits a *previous*
                 # batch before this one starts.
                 dispatch_started = loop.time()
+                # Spans anchor on one wall-clock read; durations come
+                # from the monotonic clock so an NTP step mid-batch
+                # cannot produce negative or inflated sign spans.
                 dispatch_wall = sign_start = time.time()
+                dispatch_mono = time.perf_counter()
                 outcome = await self.dispatcher.sign_batch(
                     tenant, key_name, messages, keys, params_name,
                     trace=((traced[0].trace.trace_id, dispatch_ids[0])
                            if traced else None))
-                sign_end = time.time()
+                sign_end = dispatch_wall + (time.perf_counter()
+                                            - dispatch_mono)
                 signatures = outcome.signatures
                 backend_name = f"pooled[{self.pool.workers}]"
                 if traced and outcome.spans:
@@ -351,6 +362,7 @@ class SigningService:
                 async with guard:
                     dispatch_started = loop.time()
                     dispatch_wall = sign_start = time.time()
+                    dispatch_mono = time.perf_counter()
                     if traced:
                         # Tap the hash-context hook for the batch: adds
                         # wots/merkle sub-stage times and per-stage hash
@@ -363,7 +375,8 @@ class SigningService:
                         tap = None
                         result = await loop.run_in_executor(
                             None, backend.sign_batch, messages, keys)
-                    sign_end = time.time()
+                    sign_end = dispatch_wall + (time.perf_counter()
+                                                - dispatch_mono)
                 signatures = result.signatures
                 backend_name = result.backend
                 if traced:
@@ -386,8 +399,10 @@ class SigningService:
             raise  # the batcher forwards this to every future in the batch
         done = loop.time()
         if traced:
+            done_wall = dispatch_wall + (time.perf_counter()
+                                         - dispatch_mono)
             self._emit_spans(traced, dispatch_ids, backend_name,
-                             len(batch), dispatch_wall, time.time(),
+                             len(batch), dispatch_wall, done_wall,
                              sign_start, sign_end, stage_seconds,
                              stage_hashes)
         self.telemetry.record_batch(len(batch))
@@ -471,14 +486,17 @@ class SigningService:
 
 
 class SigningServer:
-    """Serve a :class:`SigningService` over newline-delimited JSON TCP.
+    """Serve a :class:`SigningService` over TCP — JSON lines or frames.
 
     Requests dispatch through a :class:`~.verbs.VerbRegistry` — a handler
     table with per-verb schema validation and version gating.  Every
     connection starts at protocol v1 (``sign`` / ``stats`` / ``ping``
-    served unchanged, no handshake required) and upgrades to v2 by
-    sending ``hello``, which unlocks ``verify``, ``sign-many``, and
-    ``keys`` and returns the capability advertisement.
+    served unchanged, no handshake required) and upgrades by sending
+    ``hello``: v2 unlocks ``verify``, ``sign-many``, and ``keys`` over
+    the same JSON lines, while a v3 hello flips the connection to binary
+    frames (see :mod:`.protocol`) — the hello response is still a JSON
+    line, and everything after it on the socket is framed in both
+    directions, with ``sign-many`` results streamed per item.
     """
 
     def __init__(self, service: SigningService,
@@ -501,7 +519,10 @@ class SigningServer:
             "version": version,
             "server": f"repro/{__version__}",
             "verbs": list(self.registry.names(version)),
-            "max_batch": protocol.MAX_SIGN_MANY,
+            # v3 streams sign-many results per item, so only the request
+            # frame bounds the count — the cap rises with the version.
+            "max_batch": (protocol.MAX_SIGN_MANY_V3 if version >= 3
+                          else protocol.MAX_SIGN_MANY),
             "backend": service.backend_name,
             "workers": (service.pool.workers
                         if service.pool is not None else 0),
@@ -569,10 +590,29 @@ class SigningServer:
                     break
                 if not line.strip():
                     continue
+                request = None
+                try:
+                    request = protocol.decode(line)
+                except ProtocolError:
+                    pass  # the serve task reports the typed decode error
+                if request is not None and request.get("op") == "hello":
+                    # hello is served inline, not as a task: a v3 grant
+                    # flips this connection to binary frames, and the
+                    # switch must land before the next read — the client
+                    # sends its first frame right after the hello line.
+                    await self._serve_decoded(request, writer, write_lock,
+                                              conn)
+                    if conn.version >= 3:
+                        await self._serve_frames(reader, writer,
+                                                 write_lock, conn, tasks)
+                        break
+                    continue
                 # Each request runs as its own task so a client can
                 # pipeline: a slow sign never blocks a ping or stats.
                 task = loop.create_task(
-                    self._serve_line(line, writer, write_lock, conn))
+                    self._serve_line(line, writer, write_lock, conn)
+                    if request is None else
+                    self._serve_decoded(request, writer, write_lock, conn))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
@@ -588,33 +628,57 @@ class SigningServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _serve_frames(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            write_lock: asyncio.Lock, conn: ConnectionState,
+                            tasks: set[asyncio.Task]) -> None:
+        """The v3 read loop: binary frames from the hello onward."""
+        loop = asyncio.get_running_loop()
+
+        async def send(data: bytes) -> None:
+            await self._send_raw(writer, write_lock, data)
+
+        while True:
+            try:
+                frame = await protocol.read_frame(reader)
+            except FrameTooLargeError as exc:
+                # The oversized body was never read, so the stream cannot
+                # be resynchronized: report on the reserved id 0 (no
+                # request maps to it) and close the connection.
+                await send(protocol.encode_frame(
+                    protocol.FRAME_ERROR,
+                    protocol.pack_error(protocol.ERROR_PROTOCOL, str(exc))))
+                return
+            except ProtocolError:
+                return  # dropped mid-frame: nobody left to answer
+            if frame is None:
+                return
+            task = loop.create_task(serve_frame(self, conn, frame, send))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
     async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
                           write_lock: asyncio.Lock,
                           conn: ConnectionState) -> None:
-        request_id = None
         try:
             request = protocol.decode(line)
-            request_id = request.get("id")
-            response = await self._serve_request(request, conn)
-        except UnknownVerbError as exc:
-            # v1 predates the distinct code; those connections keep the
-            # historical "protocol" code so v1 clients' error mapping
-            # holds, while v2 clients get the precise one.
-            code = (protocol.ERROR_UNKNOWN_VERB if conn.version >= 2
-                    else protocol.ERROR_PROTOCOL)
-            response = {"ok": False, "error": code, "detail": str(exc)}
         except ProtocolError as exc:
-            response = {"ok": False, "error": protocol.ERROR_PROTOCOL,
-                        "detail": str(exc)}
-        except OverloadedError as exc:
-            response = {"ok": False, "error": protocol.ERROR_OVERLOADED,
-                        "detail": str(exc)}
-        except KeystoreError as exc:
-            response = {"ok": False, "error": protocol.ERROR_UNKNOWN_KEY,
-                        "detail": str(exc)}
+            await self._send(writer, write_lock, {
+                "ok": False, "error": protocol.ERROR_PROTOCOL,
+                "detail": str(exc)})
+            return
+        await self._serve_decoded(request, writer, write_lock, conn)
+
+    async def _serve_decoded(self, request: dict,
+                             writer: asyncio.StreamWriter,
+                             write_lock: asyncio.Lock,
+                             conn: ConnectionState) -> None:
+        request_id = request.get("id")
+        try:
+            response = await self._serve_request(request, conn)
         except Exception as exc:  # noqa: BLE001 — report, don't kill the conn
-            response = {"ok": False, "error": protocol.ERROR_INTERNAL,
-                        "detail": f"{type(exc).__name__}: {exc}"}
+            code, detail = error_body(exc, conn.version)
+            response = {"ok": False, "error": code, "detail": detail}
         if request_id is not None:
             response["id"] = request_id
         await self._send(writer, write_lock, response)
@@ -627,9 +691,15 @@ class SigningServer:
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, write_lock: asyncio.Lock,
                     response: dict) -> None:
+        await SigningServer._send_raw(writer, write_lock,
+                                      protocol.encode(response))
+
+    @staticmethod
+    async def _send_raw(writer: asyncio.StreamWriter,
+                        write_lock: asyncio.Lock, data: bytes) -> None:
         try:
             async with write_lock:
-                writer.write(protocol.encode(response))
+                writer.write(data)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; nothing to report to

@@ -20,12 +20,13 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
-from ..errors import OverloadedError, ProtocolError, UnknownVerbError
+from ..errors import (KeystoreError, OverloadedError, ProtocolError,
+                      UnknownVerbError)
 from ..obs.trace import TraceContext, new_span_id, use_trace
 from . import protocol
 
 __all__ = ["ConnectionState", "FieldSpec", "Verb", "VerbRegistry",
-           "default_registry"]
+           "default_registry", "error_body", "serve_frame"]
 
 
 @dataclass
@@ -297,6 +298,154 @@ async def _verb_keys(server, conn: ConnectionState, args: dict) -> dict:
     names = keystore.key_names(tenant)  # raises KeystoreError if unknown
     return {"ok": True, "op": "keys", "tenant": tenant,
             "params": keystore.params_for(tenant), "keys": list(names)}
+
+
+# ----------------------------------------------------------------------
+# Protocol v3: binary frame dispatch
+# ----------------------------------------------------------------------
+def error_body(exc: BaseException, version: int) -> tuple[str, str]:
+    """Map one handler exception to its wire ``(code, detail)`` pair.
+
+    Shared by the line server and the frame server so both modes report
+    identical codes for identical failures.
+    """
+    if isinstance(exc, UnknownVerbError):
+        # v1 predates the distinct code; those connections keep the
+        # historical "protocol" code so v1 clients' error mapping holds.
+        code = (protocol.ERROR_UNKNOWN_VERB if version >= 2
+                else protocol.ERROR_PROTOCOL)
+        return code, str(exc)
+    if isinstance(exc, ProtocolError):
+        return protocol.ERROR_PROTOCOL, str(exc)
+    if isinstance(exc, OverloadedError):
+        return protocol.ERROR_OVERLOADED, str(exc)
+    if isinstance(exc, KeystoreError):
+        return protocol.ERROR_UNKNOWN_KEY, str(exc)
+    return protocol.ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
+
+
+async def _frame_sign(server, conn: ConnectionState,
+                      frame: protocol.Frame, send) -> None:
+    args = protocol.unpack_sign_request(frame.payload)
+    with use_trace(TraceContext(args["trace"], new_span_id())
+                   if args["trace"] else None):
+        outcome = await server.service.sign(
+            args["message"], args["tenant"], key_name=args["key"],
+            deadline_ms=args["deadline_ms"])
+    await send(protocol.encode_frame(
+        frame.verb,
+        protocol.pack_sign_result(
+            outcome.signature, outcome.params, outcome.backend,
+            outcome.batch_size, outcome.wait_ms, outcome.total_ms),
+        id=frame.id, flags=protocol.FLAG_OK))
+
+
+async def _frame_verify(server, conn: ConnectionState,
+                        frame: protocol.Frame, send) -> None:
+    args = protocol.unpack_verify_request(frame.payload)
+    valid, params = await server.service.verify(
+        args["message"], args["signature"], args["tenant"],
+        key_name=args["key"])
+    await send(protocol.encode_frame(
+        frame.verb, protocol.pack_verify_result(valid, params),
+        id=frame.id, flags=protocol.FLAG_OK))
+
+
+async def _frame_sign_many(server, conn: ConnectionState,
+                           frame: protocol.Frame, send) -> None:
+    """Streaming sign-many: one item frame per message *as it signs*.
+
+    v2 buffers the whole batch into one response line; here each result
+    goes out the moment its batch lands, tagged with the request index,
+    and a final end frame carries the count.  Tenant/key resolution
+    failures still fail the whole frame (nothing could have signed);
+    per-message failures ride as not-ok item frames.
+    """
+    args = protocol.unpack_sign_many_request(frame.payload)
+    tenant, key = args["tenant"], args["key"]
+    server.service.keystore.resolve(tenant, key)
+    with use_trace(TraceContext(args["trace"], new_span_id())
+                   if args["trace"] else None):
+        by_task = {
+            asyncio.ensure_future(server.service.sign(
+                message, tenant, key_name=key,
+                deadline_ms=args["deadline_ms"])): index
+            for index, message in enumerate(args["messages"])
+        }
+    pending = set(by_task)
+    while pending:
+        done, pending = await asyncio.wait(
+            pending, return_when=asyncio.FIRST_COMPLETED)
+        for task in done:
+            index = by_task[task]
+            exc = task.exception()
+            if exc is not None:
+                payload = protocol.pack_sign_many_item(
+                    index, error=error_body(exc, conn.version))
+            else:
+                outcome = task.result()
+                payload = protocol.pack_sign_many_item(index, result={
+                    "signature": outcome.signature,
+                    "params": outcome.params,
+                    "backend": outcome.backend,
+                    "batch_size": outcome.batch_size,
+                    "wait_ms": outcome.wait_ms,
+                    "total_ms": outcome.total_ms,
+                })
+            await send(protocol.encode_frame(
+                protocol.FRAME_SIGN_MANY_ITEM, payload, id=frame.id,
+                flags=protocol.FLAG_OK))
+    await send(protocol.encode_frame(
+        protocol.FRAME_SIGN_MANY_END,
+        protocol.pack_sign_many_end(len(by_task)), id=frame.id,
+        flags=protocol.FLAG_OK))
+
+
+_HOT_FRAMES = {
+    protocol.FRAME_CODES["sign"]: _frame_sign,
+    protocol.FRAME_CODES["verify"]: _frame_verify,
+    protocol.FRAME_CODES["sign-many"]: _frame_sign_many,
+}
+
+
+async def serve_frame(server, conn: ConnectionState,
+                      frame: protocol.Frame, send) -> None:
+    """Serve one decoded v3 frame; *send* transmits an encoded reply.
+
+    Hot verbs (sign / verify / sign-many) decode straight off the binary
+    payload — no JSON, no base64, no registry schema pass (the codec
+    already validates field types and bounds).  Every other verb carries
+    its v2 JSON body as the frame payload and resolves through the same
+    registry as line mode, so cold verbs stay single-sourced.
+    """
+    try:
+        hot = _HOT_FRAMES.get(frame.verb)
+        if hot is not None:
+            await hot(server, conn, frame, send)
+            return
+        op = protocol.FRAME_VERBS.get(frame.verb)
+        if op is None:
+            raise UnknownVerbError(
+                f"unknown frame verb 0x{frame.verb:02x} "
+                f"(serving: {', '.join(server.registry.names(conn.version))})")
+        request = (protocol.unpack_json(frame.payload)
+                   if len(frame.payload) else {})
+        request["op"] = op
+        if op == "hello":
+            version = request.get("version")
+            if isinstance(version, int) and version < 3:
+                raise ProtocolError(
+                    "a binary (v3) connection cannot renegotiate below "
+                    "v3 — reconnect and send the lower hello as JSON")
+        response = await server._serve_request(request, conn)
+        await send(protocol.encode_frame(
+            frame.verb, protocol.pack_json(response), id=frame.id,
+            flags=protocol.FLAG_OK))
+    except Exception as exc:  # noqa: BLE001 — report, don't kill the conn
+        code, detail = error_body(exc, conn.version)
+        await send(protocol.encode_frame(
+            protocol.FRAME_ERROR, protocol.pack_error(code, detail),
+            id=frame.id))
 
 
 def default_registry() -> VerbRegistry:

@@ -5,8 +5,10 @@ backend, the vectorized CPU backend, the modeled-GPU backend, the
 :class:`~repro.runtime.scheduler.BatchScheduler` service layer, the
 async :class:`~repro.service.server.SigningService`, and the unified
 :mod:`repro.api` client facade over each transport (``client:local``,
-``client:pooled``, ``client:tcp`` — the last over a live protocol-v2
-server) — promises the same thing: byte-identical SPHINCS+ signatures
+``client:pooled``, ``client:tcp`` pinned to the v2 JSON wire, and
+``client:tcp-v3`` over the binary framing with streamed sign-many —
+both against a live server) — promises the same thing:
+byte-identical SPHINCS+ signatures
 in deterministic mode.  The
 oracle *enforces* that promise.  It signs a shared adversarial corpus
 (:func:`repro.testing.corpus.message_corpus`) on a reference scheme, runs
@@ -221,10 +223,11 @@ class DifferentialOracle:
         Also drive the corpus through the :mod:`repro.api` facade on
         every transport: ``client:local`` (in-process scheduler),
         ``client:pooled`` (worker pool, when ``pooled`` is among the
-        backends), and ``client:tcp`` (an AsyncClient against a live
-        protocol-v2 server).  Each path byte-compares against the
-        reference and additionally round-trips a ``verify`` call through
-        the same facade.
+        backends), ``client:tcp`` (an AsyncClient pinned to the v2 JSON
+        wire), and ``client:tcp-v3`` (the same client over v3 binary
+        frames with streamed sign-many) — both against a live server.
+        Each path byte-compares against the reference and additionally
+        round-trips a ``verify`` call through the same facade.
     fault / fault_target:
         Optional :class:`BitFlipFault` installed on *fault_target*'s
         direct-backend pass — the oracle then demonstrates detection.
@@ -327,8 +330,13 @@ class DifferentialOracle:
                     backend="pooled",
                     backend_options={"pooled":
                                      {"workers": self.service_workers}}))
+            # Both wire generations must produce byte-identical output:
+            # v2 JSON lines pinned explicitly, and the v3 binary framing
+            # with its streamed sign-many.
             results.append(asyncio.run(
-                self._run_client_tcp(scheme, keys, expected)))
+                self._run_client_tcp(scheme, keys, expected, version=2)))
+            results.append(asyncio.run(
+                self._run_client_tcp(scheme, keys, expected, version=3)))
 
         fault_hop = None
         if self.fault is not None and self.corpus:
@@ -603,17 +611,21 @@ class DifferentialOracle:
         return result
 
     async def _run_client_tcp(self, scheme: Sphincs, keys: KeyPair,
-                              expected: dict[str, bytes]) -> PathResult:
+                              expected: dict[str, bytes],
+                              version: int = 3) -> PathResult:
         from ..api import AsyncClient
         from ..service import SigningServer, SigningService, protocol
 
-        result = PathResult(path="client:tcp")
+        result = PathResult(path="client:tcp" if version < 3
+                            else "client:tcp-v3")
         started = time.perf_counter()
-        # The wire can only frame messages up to MAX_MESSAGE_BYTES (the
-        # full corpus includes a 1 MiB case); skipping oversized cases is
-        # a stated transport bound, not a divergence.
+        # The wire can only frame messages up to the per-mode message
+        # bound (the full corpus includes a 1 MiB case); skipping
+        # oversized cases is a stated transport bound, not a divergence.
+        budget = (protocol.MAX_MESSAGE_BYTES_V3 if version >= 3
+                  else protocol.MAX_MESSAGE_BYTES)
         corpus = [(case, message) for case, message in self.corpus
-                  if len(message) <= protocol.MAX_MESSAGE_BYTES]
+                  if len(message) <= budget]
         server = None
         client = None
         try:
@@ -624,7 +636,8 @@ class DifferentialOracle:
                 deterministic=True)
             server = SigningServer(service, port=0)
             await server.start()
-            client = await AsyncClient.connect(port=server.port)
+            client = await AsyncClient.connect(port=server.port,
+                                               version=version)
             signed = await client.sign_many(
                 "oracle", [message for _, message in corpus])
             case, message = corpus[0]

@@ -142,7 +142,7 @@ class TestTcpClient:
         expected, _ = reference_signatures(messages)
         with api.connect("tcp", port=live_server.port) as client:
             info = client.info()
-            assert info.protocol_version == 2
+            assert info.protocol_version == 3
             assert info.supports("verify")
             assert info.max_batch >= 1
             assert client.ping()
@@ -164,12 +164,14 @@ class TestTcpClient:
         from repro.service import protocol
 
         with api.connect("tcp", port=live_server.port) as client:
-            huge = b"\0" * (protocol.MAX_MESSAGE_BYTES + 1)
+            # The default connection negotiates v3 binary frames, whose
+            # budget skips the base64 inflation of the v2 line protocol.
+            huge = b"\0" * (protocol.MAX_MESSAGE_BYTES_V3 + 1)
             with pytest.raises(ProtocolError, match="frame bound"):
                 client.sign("acme", huge)
             # verify frames carry message + signature: a message that
             # sign() would accept can still overflow alongside one.
-            nearly = b"\0" * (protocol.MAX_MESSAGE_BYTES - 100)
+            nearly = b"\0" * (protocol.MAX_MESSAGE_BYTES_V3 - 100)
             with pytest.raises(ProtocolError, match="frame bound"):
                 client.verify("acme", nearly, b"\0" * 17088)
             # The connection survives the early rejections.
@@ -206,9 +208,9 @@ class TestAsyncClient:
     def test_min_version_above_server_offer_raises(self, live_server):
         async def scenario():
             with pytest.raises(api.UnsupportedVersionError,
-                               match="offered protocol v2"):
+                               match="offered protocol v3"):
                 await api.AsyncClient.connect(port=live_server.port,
-                                              version=3, min_version=3)
+                                              version=4, min_version=4)
 
         asyncio.run_coroutine_threadsafe(
             scenario(), live_server.loop).result(60)

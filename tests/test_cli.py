@@ -64,6 +64,33 @@ class TestCli:
             main(["frobnicate"])
 
 
+class TestTraceCli:
+    """`repro trace` exit codes: 0 rendered, 2 unusable input."""
+
+    def test_missing_spans_file_exits_two_with_one_line(self, capsys):
+        assert main(["trace", "--input", "/nonexistent/spans.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("trace: cannot read")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    def test_empty_spans_file_exits_two_with_one_line(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("")
+        assert main(["trace", "--input", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("trace: ")
+        assert "no spans found" in err
+        assert err.count("\n") == 1
+
+    def test_junk_only_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("not json\n{}\n")
+        assert main(["trace", "--input", str(path)]) == 2
+        assert "no spans found" in capsys.readouterr().err
+
+
 class TestServiceCli:
     def test_loadtest_self_hosted_bursty(self, capsys):
         """The acceptance flow: loadtest against a live serve-async

@@ -39,8 +39,9 @@ class TestCleanTree:
 
     def test_client_facade_paths_byte_identical(self, differential_oracle):
         """Acceptance: the repro.api facade joins the oracle —
-        client:local, client:pooled, and client:tcp (over a live v2
-        server) all byte-identical to the reference scheme."""
+        client:local, client:pooled, client:tcp (pinned to the v2 line
+        protocol) and client:tcp-v3 (binary frames) all byte-identical
+        to the reference scheme."""
         oracle = differential_oracle(
             "128f", backends=["vectorized", "pooled"], corpus=SMALL_CORPUS,
             include_scheduler=False, include_clients=True)
@@ -49,7 +50,7 @@ class TestCleanTree:
         client_paths = {result.path for result in report.results
                         if result.path.startswith("client:")}
         assert client_paths == {"client:local", "client:pooled",
-                                "client:tcp"}
+                                "client:tcp", "client:tcp-v3"}
         for result in report.results:
             if result.path.startswith("client:"):
                 assert result.count == result.matched == result.verified == 3
