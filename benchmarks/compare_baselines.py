@@ -3,7 +3,8 @@
 
 The JSON perf baselines (``backend_throughput.json``,
 ``service_latency.json``, ``pool_scaling.json``,
-``obs_overhead.json``, ``wire_efficiency.json``) live under
+``obs_overhead.json``, ``wire_efficiency.json``,
+``cluster_scaling.json``) live under
 ``benchmarks/results/`` (full mode) and ``benchmarks/results/smoke/``
 (``REPRO_SMOKE=1`` mode) and are committed to the repository.  Running
 the benchmarks rewrites the mode's files in the working tree; this
@@ -20,7 +21,8 @@ Usage::
 
     REPRO_SMOKE=1 python -m pytest benchmarks/test_backend_throughput.py \
         benchmarks/test_service_latency.py benchmarks/test_pool_scaling.py \
-        benchmarks/test_obs_overhead.py -q
+        benchmarks/test_obs_overhead.py benchmarks/test_wire_efficiency.py \
+        benchmarks/test_cluster_scaling.py -q
     REPRO_SMOKE=1 python benchmarks/compare_baselines.py [--tolerance 0.25]
 
     python benchmarks/compare_baselines.py --self-check
@@ -61,7 +63,21 @@ BASELINE_SOURCES = {
     "pool_scaling.json": "test_pool_scaling.py",
     "obs_overhead.json": "test_obs_overhead.py",
     "wire_efficiency.json": "test_wire_efficiency.py",
+    "cluster_scaling.json": "test_cluster_scaling.py",
 }
+
+
+def verify_command(filename: str) -> str:
+    """The exact invocation that (re)generates *filename*'s baseline.
+
+    ``pyproject.toml`` configures ``pythonpath = ["src"]`` for pytest,
+    so the command needs no ``PYTHONPATH`` prefix — only the smoke flag
+    when this gate is running in smoke mode.  Printed verbatim in the
+    "run its benchmark first" misconfiguration path so a dev outside CI
+    can copy-paste it.
+    """
+    env = "REPRO_SMOKE=1 " if smoke_mode() else ""
+    return f"{env}python -m pytest benchmarks/{BASELINE_SOURCES[filename]} -q"
 
 
 @dataclass(frozen=True)
@@ -122,6 +138,18 @@ WATCHED: dict[str, list[Metric]] = {
         # of "v3 spends less CPU per signature than v2".
         Metric(("live", "cpu_saved_s_per_sig"), higher_is_better=True),
     ],
+    "cluster_scaling.json": [
+        Metric(("configs", "1", "sigs_per_s"), higher_is_better=True),
+        Metric(("configs", "2", "sigs_per_s"), higher_is_better=True),
+        # 2-node vs single-node throughput at the same latency deadline;
+        # skipped (like the pool gate) when the host lacks the cores.
+        Metric(("scaling", "2n_vs_1n"), higher_is_better=True),
+        # Chaos invariants: the benchmark asserts unresolved == 0, and
+        # the gate additionally watches that the kill keeps resolving
+        # requests (the `base <= 0` rule skips degenerate pins).
+        Metric(("node_kill", "signed"), higher_is_better=True,
+               optional=True),
+    ],
 }
 
 
@@ -173,30 +201,35 @@ class Verdict:
     detail: str
 
 
-def _scaling_workers(metric: Metric) -> int | None:
-    """For a ``scaling.<N>w_vs_1w`` metric, the worker count N."""
+def _scaling_lanes(metric: Metric) -> int | None:
+    """For a ``scaling.<N>w_vs_1w`` / ``scaling.<N>n_vs_1n`` metric, the
+    concurrency N (workers or nodes) the ratio claims to scale across."""
     if metric.path[0] != "scaling":
         return None
-    head = metric.path[1].split("w", 1)[0]
-    return int(head) if head.isdigit() else None
+    head = ""
+    for char in metric.path[1]:
+        if not char.isdigit():
+            break
+        head += char
+    return int(head) if head else None
 
 
 def compare_record(filename: str, pinned: dict, measured: dict,
                    tolerance: float) -> list[Verdict]:
     verdicts = []
     for metric in WATCHED[filename]:
-        if filename == "pool_scaling.json":
-            # A `<N>w vs 1w` speedup gate is only meaningful when the
-            # host can actually run N workers concurrently; on a
-            # single-core CI runner the ratio is ~1.0 by physics, not
-            # regression.  The benchmark records the core count for
-            # exactly this decision.
-            workers = _scaling_workers(metric)
+        if filename in ("pool_scaling.json", "cluster_scaling.json"):
+            # A `<N>w vs 1w` / `<N>n vs 1n` speedup gate is only
+            # meaningful when the host can actually run N workers or
+            # nodes concurrently; on a single-core CI runner the ratio
+            # is ~1.0 by physics, not regression.  The benchmarks
+            # record the core count for exactly this decision.
+            lanes = _scaling_lanes(metric)
             cores = measured.get("cpu_count")
-            if (workers is not None and isinstance(cores, int)
-                    and cores < workers):
+            if (lanes is not None and isinstance(cores, int)
+                    and cores < lanes):
                 print(f"  [skipped  ] {filename}: {metric.name} — host "
-                      f"has {cores} core(s) < {workers} workers; "
+                      f"has {cores} core(s) < {lanes} lanes; "
                       "scaling gate not meaningful here")
                 continue
         base = lookup(pinned, metric.path)
@@ -231,8 +264,13 @@ def run_gate(tolerance: float,
     for filename in WATCHED:
         measured = load_measured(filename)
         if measured is None:
+            # Outside CI, print the copy-pasteable invocation.  This is
+            # derived from BASELINE_SOURCES and the pyproject pytest
+            # config (pythonpath = ["src"]), so it never drifts into a
+            # stale `PYTHONPATH=...` hint again.
             print(f"{filename}: no fresh measurement in {mode_dir()} — "
-                  "run its benchmark first", file=sys.stderr)
+                  f"run its benchmark first:\n"
+                  f"    {verify_command(filename)}", file=sys.stderr)
             return 2, verdicts
         pinned = load_pinned(filename, baseline_dir)
         if pinned is None:

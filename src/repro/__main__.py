@@ -18,6 +18,11 @@ serve-async
     deadline-aware batching, admission control, a TCP wire protocol
     (JSON lines for v1/v2 clients, zero-copy binary frames with
     streamed sign-many after a v3 hello), and a ``stats`` verb.
+serve-cluster
+    Run a cluster router over N signing nodes: consistent-hash tenant
+    placement, health-check-driven failover and shard re-homing, and
+    the same northbound wire protocol as ``serve-async`` — either
+    self-hosting N in-process nodes or fronting running ones.
 loadtest
     Drive a signing service with a generated arrival trace (poisson /
     bursty / ramp) and print client latency percentiles plus the
@@ -58,7 +63,7 @@ def _make_api_client(args: argparse.Namespace, command: str):
     """
     from . import api
 
-    if args.transport == "tcp":
+    if args.transport in ("tcp", "cluster"):
         ignored = [flag for flag, is_set in (
             ("--deterministic", args.deterministic),
             ("--keystore", bool(args.keystore)),
@@ -66,8 +71,9 @@ def _make_api_client(args: argparse.Namespace, command: str):
         ) if is_set]
         if ignored:
             print(f"{command}: note — ignoring {', '.join(ignored)} "
-                  "with --transport tcp: keys, parameter set, and signing "
-                  "mode belong to the server's tenant", file=sys.stderr)
+                  f"with --transport {args.transport}: keys, parameter "
+                  "set, and signing mode belong to the server's tenant",
+                  file=sys.stderr)
         target = _parse_hostport(args.connect or "127.0.0.1:7744")
         if target is None:
             print(f"{command}: --connect wants HOST:PORT, got "
@@ -77,8 +83,8 @@ def _make_api_client(args: argparse.Namespace, command: str):
         if getattr(args, "protocol", None):
             options["version"] = args.protocol
         try:
-            return api.connect("tcp", host=target[0], port=target[1],
-                               **options), None
+            return api.connect(args.transport, host=target[0],
+                               port=target[1], **options), None
         except (ConnectionError, OSError, api.ServiceError) as exc:
             print(f"{command}: cannot reach {target[0]}:{target[1]} — "
                   f"{exc}", file=sys.stderr)
@@ -253,9 +259,9 @@ def _parse_tenants(spec: str) -> list[tuple[str, str]]:
     return tenants
 
 
-def _build_service(args: argparse.Namespace):
-    """Construct the SigningService a serve-async/loadtest run fronts."""
-    from .service import Keystore, SigningService, derive_seed
+def _build_keystore(args: argparse.Namespace):
+    """The tenant registry a serve-async/serve-cluster run provisions."""
+    from .service import Keystore, derive_seed
     from .params import get_params
 
     keystore = Keystore(root=args.keystore or None)
@@ -266,6 +272,15 @@ def _build_service(args: argparse.Namespace):
                                 get_params(params).n)
                     if args.deterministic else None)
             keystore.generate_key(name, "default", seed=seed)
+    return keystore
+
+
+def _build_service(args: argparse.Namespace, keystore=None):
+    """Construct the SigningService a serve-async/loadtest run fronts."""
+    from .service import SigningService
+
+    if keystore is None:
+        keystore = _build_keystore(args)
     tracer = None
     if getattr(args, "trace_out", None):
         from .obs import Tracer
@@ -376,6 +391,91 @@ def _cmd_serve_async(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster import ClusterRouter, LocalCluster, RouterService
+    from .errors import ServiceError
+
+    spec = args.nodes.strip()
+
+    async def run() -> int:
+        cluster = None
+        metrics = None
+        if spec.isdigit():
+            # Self-hosted fleet: N in-process nodes sharing one keystore
+            # (identical keys on every node — a re-homed tenant signs
+            # and verifies the same either way).
+            count = int(spec)
+            if count < 1:
+                print("serve-cluster: --nodes must be >= 1",
+                      file=sys.stderr)
+                return 2
+            keystore = _build_keystore(args)
+            cluster = LocalCluster(
+                [lambda: _build_service(args, keystore=keystore)] * count,
+                host=args.host, port=args.port,
+                max_retries=args.max_retries,
+                health_interval_s=args.health_interval_ms / 1000.0)
+            await cluster.start()
+            router = cluster.router
+            print(f"cluster router listening on {args.host}:{cluster.port}")
+            print(f"  nodes         : {count} in-process, ports "
+                  + ", ".join(str(s.port) for s in cluster.servers))
+        else:
+            # Front an existing fleet: --nodes host:port,host:port,...
+            addresses = []
+            for item in spec.split(","):
+                target = _parse_hostport(item.strip())
+                if target is None:
+                    print("serve-cluster: --nodes wants a node count or "
+                          f"HOST:PORT list, got {item.strip()!r}",
+                          file=sys.stderr)
+                    return 2
+                addresses.append(target)
+            service = RouterService(
+                addresses, _build_keystore(args),
+                max_retries=args.max_retries,
+                health_interval_s=args.health_interval_ms / 1000.0)
+            router = ClusterRouter(service, host=args.host, port=args.port)
+            await router.start()
+            print(f"cluster router listening on {args.host}:{router.port}")
+            print("  nodes         : "
+                  + ", ".join(f"{h}:{p}" for h, p in addresses))
+        assert router is not None
+        metrics = _start_metrics(args, router.service)
+        stats = router.service.stats()["cluster"]
+        print(f"  live nodes    : {stats['live_nodes']}"
+              f"/{len(stats['nodes'])}")
+        print(f"  placement     : consistent hashing on tenant name, "
+              f"{args.max_retries} failover retries, health check every "
+              f"{args.health_interval_ms:g} ms")
+        print("  protocol      : v1/v2/v3 northbound (same verbs as "
+              "serve-async, plus the 'unavailable' error code); "
+              "Ctrl-C to stop")
+        try:
+            await router.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if cluster is not None:
+                await cluster.stop()
+            else:
+                await router.stop()
+            if metrics is not None:
+                metrics.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+    except ServiceError as exc:
+        print(f"serve-cluster: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
@@ -611,16 +711,16 @@ def main(argv: list[str] | None = None) -> int:
 
     def _add_transport_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--transport", default="local",
-                       choices=("local", "pooled", "tcp"),
+                       choices=("local", "pooled", "tcp", "cluster"),
                        help="execution tier behind the repro.api facade")
         p.add_argument("--connect", default=None, metavar="HOST:PORT",
-                       help="target service for --transport tcp "
+                       help="target service for --transport tcp/cluster "
                             "(default 127.0.0.1:7744)")
         p.add_argument("--protocol", type=int, default=None,
                        choices=(2, 3),
-                       help="wire protocol to offer for --transport tcp "
-                            "(default: v3 binary frames, with automatic "
-                            "downgrade to v2 JSON lines)")
+                       help="wire protocol to offer for --transport "
+                            "tcp/cluster (default: v3 binary frames, with "
+                            "automatic downgrade to v2 JSON lines)")
         p.add_argument("--workers", type=int, default=2,
                        help="worker-pool size for --transport pooled")
         p.add_argument("--tenant", default="cli",
@@ -677,6 +777,26 @@ def main(argv: list[str] | None = None) -> int:
                                help="TCP port (0 picks a free one)")
     _add_service_args(p_serve_async)
     p_serve_async.set_defaults(func=_cmd_serve_async)
+
+    p_serve_cluster = sub.add_parser(
+        "serve-cluster",
+        help="run a cluster router over N signing nodes")
+    p_serve_cluster.add_argument("--host", default="127.0.0.1")
+    p_serve_cluster.add_argument("--port", type=int, default=7744,
+                                 help="router TCP port (0 picks a free one)")
+    p_serve_cluster.add_argument(
+        "--nodes", default="2", metavar="N|HOST:PORT,...",
+        help="node count to self-host in-process (default 2), or a "
+             "comma-separated HOST:PORT list of running serve-async "
+             "nodes to front")
+    p_serve_cluster.add_argument("--max-retries", type=int, default=2,
+                                 help="failover attempts after the "
+                                      "primary node (default 2)")
+    p_serve_cluster.add_argument("--health-interval-ms", type=float,
+                                 default=500.0,
+                                 help="node liveness probe cadence")
+    _add_service_args(p_serve_cluster)
+    p_serve_cluster.set_defaults(func=_cmd_serve_cluster)
 
     p_loadtest = sub.add_parser(
         "loadtest",

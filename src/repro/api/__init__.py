@@ -29,10 +29,12 @@ The public surface of this package is pinned by
 
 from __future__ import annotations
 
-from ..errors import (ConnectionLostError, KeystoreError, OverloadedError,
-                      ProtocolError, ServiceError, UnknownVerbError,
+from ..errors import (ConnectionLostError, KeystoreError,
+                      NodeUnavailableError, OverloadedError, ProtocolError,
+                      ServiceError, UnknownVerbError,
                       UnsupportedVersionError)
 from .base import SigningClient
+from .cluster import AsyncClusterClient, ClusterClient
 from .local import LocalClient
 from .model import (ServiceInfo, SignRequest, SignResult, VerifyRequest,
                     VerifyResult)
@@ -41,13 +43,15 @@ from .tcp import AsyncClient, TcpClient
 __all__ = [
     "connect",
     "SigningClient", "LocalClient", "TcpClient", "AsyncClient",
+    "ClusterClient", "AsyncClusterClient",
     "SignRequest", "SignResult", "VerifyRequest", "VerifyResult",
     "ServiceInfo",
     "ServiceError", "KeystoreError", "OverloadedError", "ProtocolError",
     "UnknownVerbError", "UnsupportedVersionError", "ConnectionLostError",
+    "NodeUnavailableError",
 ]
 
-TRANSPORTS = ("local", "pooled", "tcp")
+TRANSPORTS = ("local", "pooled", "tcp", "cluster")
 
 
 def connect(transport: str = "local", **options) -> SigningClient:
@@ -62,6 +66,10 @@ def connect(transport: str = "local", **options) -> SigningClient:
     * ``"tcp"`` — :class:`TcpClient` against a ``repro serve-async``
       server; options forward to :meth:`TcpClient.connect` (``host``,
       ``port``, ``min_version``, ``timeout``).
+    * ``"cluster"`` — :class:`ClusterClient` against a ``repro
+      serve-cluster`` router; same options as ``"tcp"``.  Results carry
+      ``transport="cluster"`` and a request no live node could take
+      raises :class:`~repro.errors.NodeUnavailableError`.
     """
     if transport == "local":
         return LocalClient(**options)
@@ -77,6 +85,8 @@ def connect(transport: str = "local", **options) -> SigningClient:
                            backend_options=backend_options, **options)
     if transport == "tcp":
         return TcpClient.connect(**options)
+    if transport == "cluster":
+        return ClusterClient.connect(**options)
     raise ServiceError(
         f"unknown transport {transport!r}; choose one of "
         f"{', '.join(TRANSPORTS)}"

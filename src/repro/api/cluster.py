@@ -1,0 +1,30 @@
+"""The cluster transport: typed clients against a cluster router.
+
+A :class:`~repro.cluster.router.ClusterRouter` speaks the ordinary wire
+protocol northbound, so these classes are the TCP transports verbatim —
+same negotiation, same chunking, same typed results — relabeled so
+``result.transport == "cluster"`` tells callers (and the oracle's
+differential paths) which tier produced a signature.  The one behavioral
+addition arrives through the error surface: a router that cannot place a
+request on any live node answers with the ``unavailable`` code, which
+these clients raise as :class:`~repro.errors.NodeUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from .tcp import AsyncClient, TcpClient
+
+__all__ = ["AsyncClusterClient", "ClusterClient"]
+
+
+class AsyncClusterClient(AsyncClient):
+    """Typed asyncio client for a cluster router endpoint."""
+
+    transport = "cluster"
+
+
+class ClusterClient(TcpClient):
+    """Synchronous typed client for a cluster router endpoint."""
+
+    transport = "cluster"
+    _async_cls = AsyncClusterClient

@@ -36,7 +36,8 @@ __all__ = ["AsyncClient", "TcpClient"]
 
 
 def _sign_result(response: dict, request: SignRequest,
-                 signature: bytes | None = None) -> SignResult:
+                 signature: bytes | None = None,
+                 transport: str = "tcp") -> SignResult:
     return SignResult(
         signature=(signature if signature is not None
                    else protocol.unpack_bytes(response["signature"],
@@ -45,7 +46,7 @@ def _sign_result(response: dict, request: SignRequest,
         params=response["params"], backend=response["backend"],
         batch_size=response["batch_size"],
         wait_ms=response["wait_ms"], total_ms=response["total_ms"],
-        transport="tcp",
+        transport=transport,
     )
 
 
@@ -230,7 +231,8 @@ class AsyncClient:
                 start=started_wall,
                 end=started_wall + (time.perf_counter() - started_mono),
                 tenant=request.tenant, key=request.key)
-        return _sign_result(response, request, signature=signature)
+        return _sign_result(response, request, signature=signature,
+                            transport=self.transport)
 
     def _chunk(self, requests: Sequence[SignRequest]
                ) -> list[list[SignRequest]]:
@@ -311,7 +313,8 @@ class AsyncClient:
                 results.append(_sign_result(
                     item, request,
                     signature=(signature if isinstance(signature, bytes)
-                               else None)))
+                               else None),
+                    transport=self.transport))
         return results
 
     async def _verify(self, request: VerifyRequest) -> VerifyResult:
@@ -345,6 +348,9 @@ class TcpClient(SigningClient):
     """
 
     transport = "tcp"
+    #: The async client class this facade hosts — subclasses (the
+    #: cluster transport) swap it without reimplementing the bridging.
+    _async_cls: type[AsyncClient] = AsyncClient
 
     def __init__(self, client: AsyncClient, loop: asyncio.AbstractEventLoop,
                  thread: threading.Thread, timeout: float | None = 600.0):
@@ -365,8 +371,8 @@ class TcpClient(SigningClient):
         thread.start()
         try:
             client = asyncio.run_coroutine_threadsafe(
-                AsyncClient.connect(host, port, version=version,
-                                    min_version=min_version),
+                cls._async_cls.connect(host, port, version=version,
+                                       min_version=min_version),
                 loop).result(timeout)
         except BaseException:
             loop.call_soon_threadsafe(loop.stop)

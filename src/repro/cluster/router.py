@@ -1,0 +1,440 @@
+"""The cluster router: consistent-hash placement over signing nodes.
+
+:class:`RouterService` presents the :class:`~..service.server.SigningService`
+surface (``sign`` / ``verify`` / ``stats`` / ``keystore`` /
+``metrics_registry``) but owns no batcher or backend — every request is
+placed on one of N backend :class:`~..service.server.SigningServer` nodes
+over the wire protocol and forwarded through a pipelined
+:class:`~..service.client.ServiceClient`.  :class:`ClusterRouter` wraps it
+in a stock ``SigningServer``, which is the whole trick: the router speaks
+protocol v1/v2/v3 northbound *unchanged* because the verb table only ever
+touches the service surface.
+
+Placement and failover
+----------------------
+The shard key is the tenant name.  :meth:`~repro.runtime.pool.HashRing.
+preference` yields every node slot in clockwise ring order from the
+tenant's hash point; the router forwards to the first *live* entry.  That
+single rule gives the whole failover story:
+
+* All nodes up — each tenant sits on its primary; adding a node moves
+  only the tenants whose arc it claims (consistent hashing).
+* A node dies — its tenants re-home to the next slot on the ring, the
+  same slot consistent hashing would pick if the node were removed.
+* The node returns — the preference order has not changed, so each
+  tenant snaps back to its primary on the next request.
+
+Liveness is driven two ways: a forward attempt that hits a dead socket
+marks the node down and retries the next candidate immediately (bounded
+by ``max_retries``), and a background health loop pings live nodes and
+re-dials dead ones every ``health_interval_s``.  When no candidate
+accepts, the request fails with a typed
+:class:`~repro.errors.NodeUnavailableError` ("unavailable" on the wire)
+— never a hang, and safe to resubmit since nothing was signed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from ..errors import (ConnectionLostError, NodeUnavailableError,
+                      OverloadedError, ServiceError)
+from ..obs.log import get_logger
+from ..obs.trace import Tracer
+from ..runtime.pool import HashRing
+from ..service import protocol
+from ..service.client import ServiceClient
+from ..service.keystore import Keystore
+from ..service.server import SigningServer, SignOutcome
+from ..service.telemetry import Telemetry
+
+__all__ = ["ClusterRouter", "RouterService"]
+
+_log = get_logger("cluster")
+
+#: Errors that mean "this node is gone", not "this request is bad" —
+#: the only ones that trigger failover to the next ring candidate.
+_NODE_ERRORS = (ConnectionLostError, ConnectionError, OSError,
+                asyncio.TimeoutError)
+
+
+class _Node:
+    """One backend signing node and its southbound connection state."""
+
+    __slots__ = ("index", "host", "port", "wire", "up")
+
+    def __init__(self, index: int, host: str, port: int):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.wire: ServiceClient | None = None
+        self.up = True  # optimistic: the first forward attempt decides
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class RouterService:
+    """Tenant-sharded request placement over N backend signing nodes.
+
+    Satisfies the service surface the TCP verb table consumes, so a
+    stock :class:`~..service.server.SigningServer` (via
+    :class:`ClusterRouter`) serves it northbound without modification.
+
+    Parameters
+    ----------
+    nodes:
+        ``(host, port)`` of every backend node.  Ring slot *i* is node
+        *i* — placement depends on the order, so every router fronting
+        the same cluster must list the nodes identically.
+    keystore:
+        The router's own key registry, used to fail unknown tenants and
+        keys fast (before any forwarding) and to answer the ``keys``
+        verb.  Point it at the same root the nodes share; with
+        ``max_cached`` set, resident memory tracks only hot tenants.
+    max_retries:
+        Extra placement attempts after the primary (each on the next
+        live ring candidate) before a request fails as unavailable.
+    health_interval_s:
+        Background liveness cadence: live nodes are pinged, dead nodes
+        re-dialed.  A recovered node starts taking its tenants back on
+        the very next request.
+    """
+
+    def __init__(self, nodes: list[tuple[str, int]], keystore: Keystore,
+                 *, max_retries: int = 2, health_interval_s: float = 0.5,
+                 telemetry: Telemetry | None = None,
+                 tracer: Tracer | None = None):
+        if not nodes:
+            raise ServiceError("a cluster needs at least one node")
+        if max_retries < 0:
+            raise ServiceError(
+                f"max_retries must be >= 0, got {max_retries}")
+        self.keystore = keystore
+        self.backend_name = "cluster"
+        self.pool = None  # capabilities(): a router has no local workers
+        self.tracer = tracer
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.metrics_registry = self.telemetry.registry
+        self.max_retries = max_retries
+        self.health_interval_s = health_interval_s
+        self.ring = HashRing(len(nodes))
+        self._nodes = [_Node(i, host, port)
+                       for i, (host, port) in enumerate(nodes)]
+        #: Last node each tenant was served by; a change is a re-home.
+        self._homes: dict[str, int] = {}
+        self._rehomes = 0
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._health_task: asyncio.Task | None = None
+        self._closed = False
+        for node in self._nodes:
+            self._node_gauge(node)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Dial every node and start the health loop.
+
+        Nodes that refuse the first dial come up ``down`` (their tenants
+        land on failover candidates) and are re-dialed by the health
+        loop — a router may start before its fleet does.
+        """
+        for node in self._nodes:
+            try:
+                await self._connect(node)
+            except _NODE_ERRORS:
+                self._mark_down(node, reason="initial dial failed")
+        if self._health_task is None:
+            self._health_task = asyncio.get_running_loop().create_task(
+                self._health_loop())
+
+    async def aclose(self) -> None:
+        """Stop the health loop, wait out in-flight requests, hang up."""
+        self._closed = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._health_task
+            self._health_task = None
+        await self._idle.wait()
+        for node in self._nodes:
+            wire, node.wire = node.wire, None
+            if wire is not None:
+                with contextlib.suppress(Exception):
+                    await wire.close()
+
+    async def drain(self) -> None:
+        """SigningServer.stop() hook: wait for forwarded requests."""
+        await self._idle.wait()
+
+    def close(self) -> None:
+        """Sync half of shutdown (SigningServer.stop() calls this).
+
+        :class:`ClusterRouter` runs :meth:`aclose` first, so by the time
+        the base server reaches here there is nothing left to do — but a
+        bare ``SigningServer`` over a RouterService stays safe too.
+        """
+        self._closed = True
+        if self._health_task is not None:
+            self._health_task.cancel()
+            self._health_task = None
+
+    # ------------------------------------------------------------------
+    # Service surface (consumed by the verb table)
+    # ------------------------------------------------------------------
+    async def sign(self, message: bytes, tenant: str,
+                   key_name: str = "default",
+                   deadline_ms: float | None = None) -> SignOutcome:
+        """Place and forward one sign request; returns the node's outcome.
+
+        Raises :class:`KeystoreError` / :class:`OverloadedError` exactly
+        like the local service (typed node responses propagate), and
+        :class:`NodeUnavailableError` when the owner and every failover
+        candidate are unreachable.
+        """
+        self.keystore.resolve(tenant, key_name)  # fail fast, never forward
+        admit = getattr(self.keystore, "admit", None)
+        if admit is not None and not admit(tenant):
+            self.telemetry.record_shed(tenant)
+            raise OverloadedError(
+                f"tenant {tenant!r} exhausted its admission rate-limit "
+                "budget; request shed")
+        self.telemetry.record_submitted(tenant)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._track(+1)
+        try:
+            response, node = await self._forward_sign(
+                message, tenant, key_name, deadline_ms)
+        except Exception:
+            self.telemetry.record_failed(tenant)
+            raise
+        finally:
+            self._track(-1)
+        self._note_home(tenant, node)
+        total_ms = (loop.time() - started) * 1000.0
+        self.telemetry.record_batch(response.get("batch_size", 1))
+        self.telemetry.record_signed(tenant, total_ms,
+                                     response.get("wait_ms", 0.0))
+        return SignOutcome(
+            signature=response["signature"], tenant=tenant,
+            key_name=key_name, params=response["params"],
+            backend=f"node{node.index}:{response['backend']}",
+            batch_size=response.get("batch_size", 1),
+            wait_ms=response.get("wait_ms", 0.0),
+            total_ms=round(total_ms, 3))
+
+    async def verify(self, message: bytes, signature: bytes, tenant: str,
+                     key_name: str = "default") -> tuple[bool, str]:
+        """Forward a verify to the tenant's node; ``(valid, params)``."""
+        self.keystore.resolve(tenant, key_name)
+        self._track(+1)
+        try:
+            request = {"op": "verify", "tenant": tenant, "key": key_name,
+                       "message": protocol.pack_bytes(message),
+                       "signature": protocol.pack_bytes(signature)}
+            response, _ = await self._forward(request)
+        finally:
+            self._track(-1)
+        return bool(response["valid"]), response["params"]
+
+    def stats(self) -> dict:
+        """Router-side telemetry snapshot plus the cluster section."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["queue"]["depth"] = self._in_flight
+        homes: dict[int, int] = {}
+        for slot in self._homes.values():
+            homes[slot] = homes.get(slot, 0) + 1
+        snapshot["config"] = {
+            "backend": self.backend_name,
+            "workers": 0,
+            "max_retries": self.max_retries,
+            "health_interval_ms": round(self.health_interval_s * 1e3, 3),
+            "tenants": {name: self.keystore.params_for(name)
+                        for name in self.keystore.tenants()},
+        }
+        snapshot["cluster"] = {
+            "nodes": [{"node": node.index, "address": node.address,
+                       "up": node.up,
+                       "tenants": homes.get(node.index, 0)}
+                      for node in self._nodes],
+            "live_nodes": sum(node.up for node in self._nodes),
+            "rehomes": self._rehomes,
+            "shards": {tenant: self._homes[tenant]
+                       for tenant in sorted(self._homes)},
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def owner(self, tenant: str) -> int:
+        """The node index currently owning *tenant* (first live slot)."""
+        return self._candidates(tenant)[0].index
+
+    def _candidates(self, tenant: str) -> list[_Node]:
+        """Nodes to try for *tenant*: live ones in ring-preference order,
+        then down ones (a "down" mark may be stale — when everything
+        else failed, a request is the cheapest probe)."""
+        preference = [self._nodes[slot]
+                      for slot in self.ring.preference(tenant)]
+        live = [node for node in preference if node.up]
+        if not live:
+            raise NodeUnavailableError(
+                f"no live node for tenant {tenant!r}: all "
+                f"{len(self._nodes)} nodes are down")
+        return live + [node for node in preference if not node.up]
+
+    async def _forward_sign(self, message: bytes, tenant: str,
+                            key_name: str, deadline_ms: float | None
+                            ) -> tuple[dict, _Node]:
+        last: Exception | None = None
+        for attempt, node in enumerate(self._candidates(tenant)):
+            if attempt > self.max_retries:
+                break
+            try:
+                wire = await self._wire(node)
+                return await wire.sign(message, tenant, key_name,
+                                       deadline_ms), node
+            except _NODE_ERRORS as exc:
+                last = exc
+                self._mark_down(node, reason=str(exc))
+        raise NodeUnavailableError(
+            f"no node accepted tenant {tenant!r} after "
+            f"{self.max_retries + 1} attempts (last: {last})")
+
+    async def _forward(self, request: dict) -> tuple[dict, _Node]:
+        tenant = request.get("tenant", "")
+        last: Exception | None = None
+        for attempt, node in enumerate(self._candidates(tenant)):
+            if attempt > self.max_retries:
+                break
+            try:
+                wire = await self._wire(node)
+                return await wire.request(request), node
+            except _NODE_ERRORS as exc:
+                last = exc
+                self._mark_down(node, reason=str(exc))
+        raise NodeUnavailableError(
+            f"no node accepted {request.get('op')!r} for tenant "
+            f"{tenant!r} after {self.max_retries + 1} attempts "
+            f"(last: {last})")
+
+    # ------------------------------------------------------------------
+    # Node liveness
+    # ------------------------------------------------------------------
+    async def _connect(self, node: _Node) -> ServiceClient:
+        wire = await ServiceClient.open(node.host, node.port)
+        try:
+            # One hello upgrades the southbound wire to the newest
+            # protocol the node speaks (v3 flips it to binary frames).
+            await wire.request({"op": "hello",
+                                "version": protocol.PROTOCOL_VERSION})
+        except Exception:
+            with contextlib.suppress(Exception):
+                await wire.close()
+            raise
+        node.wire = wire
+        self._mark_up(node)
+        return wire
+
+    async def _wire(self, node: _Node) -> ServiceClient:
+        if node.wire is not None and node.wire.alive:
+            return node.wire
+        return await self._connect(node)
+
+    def _mark_down(self, node: _Node, reason: str = "") -> None:
+        if node.up:
+            _log.warn("node-down", node=node.index, address=node.address,
+                      reason=reason)
+        node.up = False
+        wire, node.wire = node.wire, None
+        if wire is not None:
+            # Fire-and-forget: the wire is already dead, closing only
+            # reclaims the reader task.
+            task = asyncio.get_running_loop().create_task(wire.close())
+            task.add_done_callback(lambda t: t.exception())
+        self._node_gauge(node)
+
+    def _mark_up(self, node: _Node) -> None:
+        if not node.up:
+            _log.info("node-up", node=node.index, address=node.address)
+        node.up = True
+        self._node_gauge(node)
+
+    def _node_gauge(self, node: _Node) -> None:
+        self.metrics_registry.gauge(
+            "repro_node_up", "Node liveness as seen by the router",
+            node=str(node.index), address=node.address,
+        ).set(1.0 if node.up else 0.0)
+
+    def _note_home(self, tenant: str, node: _Node) -> None:
+        previous = self._homes.get(tenant)
+        if previous == node.index:
+            return
+        self._homes[tenant] = node.index
+        if previous is not None:
+            self._rehomes += 1
+            self.metrics_registry.counter(
+                "repro_cluster_rehomes_total",
+                "Tenant shards moved to a different node",
+                tenant=tenant).inc()
+            _log.info("shard-rehomed", tenant=tenant,
+                      source=previous, target=node.index)
+        self.metrics_registry.gauge(
+            "repro_cluster_tenant_home",
+            "Node index currently serving each tenant shard",
+            tenant=tenant).set(float(node.index))
+
+    def _track(self, delta: int) -> None:
+        self._in_flight += delta
+        if self._in_flight == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    async def _health_loop(self) -> None:
+        """Ping live nodes, re-dial dead ones, every interval."""
+        timeout = max(self.health_interval_s, 0.1)
+        while not self._closed:
+            await asyncio.sleep(self.health_interval_s)
+            for node in self._nodes:
+                try:
+                    wire = await asyncio.wait_for(self._wire(node), timeout)
+                    await asyncio.wait_for(wire.ping(), timeout)
+                except _NODE_ERRORS as exc:
+                    self._mark_down(node, reason=f"health: {exc}")
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — keep probing
+                    self._mark_down(node, reason=f"health: {exc}")
+
+
+class ClusterRouter(SigningServer):
+    """A stock :class:`SigningServer` fronting a :class:`RouterService`.
+
+    Northbound it is indistinguishable from a single node — same verbs,
+    same protocol versions, same error codes (plus ``unavailable``) —
+    so every existing client (``repro.api``, the CLI, the load
+    generator) works against a cluster unchanged.
+    """
+
+    def __init__(self, service: RouterService,
+                 host: str = "127.0.0.1", port: int = 0):
+        super().__init__(service, host=host, port=port)
+
+    async def start(self) -> None:
+        await self.service.start()  # southbound dials + health loop
+        await super().start()
+
+    async def stop(self) -> None:
+        # The base stop() drains and closes synchronously; the router
+        # additionally owns async southbound state (wires, health task)
+        # that must be torn down inside the loop.
+        await self.service.aclose()
+        await super().stop()

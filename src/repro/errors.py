@@ -64,7 +64,18 @@ class KeystoreError(ServiceError, KeyError):
 
 
 class OverloadedError(ServiceError):
-    """The service shed a request: queue depth exceeded the watermark."""
+    """The service shed a request: queue depth exceeded the watermark,
+    or a tenant exhausted its admission rate-limit budget."""
+
+
+class NodeUnavailableError(ServiceError):
+    """The cluster router could not place a request on any live node.
+
+    Raised after the owning node *and* every failover candidate on the
+    ring refused the connection (bounded by the router's ``max_retries``).
+    The request was never signed — callers may safely resubmit once a
+    node returns.
+    """
 
 
 class ProtocolError(ServiceError, ValueError):

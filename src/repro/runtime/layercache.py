@@ -22,8 +22,9 @@ vectorized backend, worker pool, service CLI) converts the single
 ``--cache-budget-mb`` knob to bytes and asks :func:`choose_pinned_layers`
 for the default ``c`` per parameter set, trading prewarm cost and memory
 against per-signature hash savings (the caching/fault-analysis trade-off
-follows Genet's SPHINCS+ layer-caching work — see the README's
-Performance section for the per-set table and the fault-attack caveat).
+follows Genet's SPHINCS+ layer-caching work — see
+``docs/architecture.md`` ("The hypertree layer cache") for the per-set
+table and the fault-attack caveat).
 """
 
 from __future__ import annotations
@@ -169,7 +170,7 @@ def choose_pinned_layers(params: SphincsParams, budget_bytes: int,
 
 def tradeoff_table(budget_bytes: int | None = None,
                    max_prewarm_hashes: int = 600_000) -> list[dict]:
-    """Per-parameter-set cache trade-off rows (README + tests).
+    """Per-parameter-set cache trade-off rows (docs + tests).
 
     Each row reports the chosen default ``c``, resident pinned bytes,
     one-time prewarm hashes, and per-signature savings fraction.

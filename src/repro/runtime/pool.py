@@ -103,6 +103,28 @@ class HashRing:
             index = 0
         return self._owners[index]
 
+    def preference(self, shard_key: str) -> tuple[int, ...]:
+        """Every slot in clockwise ring order from *shard_key*'s point.
+
+        The first entry is :meth:`slot_for`; the rest are the failover
+        candidates in the order consistent hashing would visit them if
+        earlier owners were removed from the ring.  A caller holding a
+        liveness set (the cluster router) takes the first *live* entry,
+        so a key re-homes deterministically when its owner goes down and
+        returns to its primary the moment the owner comes back.
+        """
+        start = bisect.bisect_right(self._points, self._hash(shard_key))
+        order: list[int] = []
+        seen: set[int] = set()
+        for offset in range(len(self._owners)):
+            slot = self._owners[(start + offset) % len(self._owners)]
+            if slot not in seen:
+                seen.add(slot)
+                order.append(slot)
+                if len(order) == self.slots:
+                    break
+        return tuple(order)
+
 
 # ----------------------------------------------------------------------
 # Worker process

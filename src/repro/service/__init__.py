@@ -12,7 +12,9 @@ Module map
 ----------
 :mod:`.keystore`
     Multi-tenant key registry: named keys, one parameter set per tenant,
-    atomic on-disk persistence (one JSON file per tenant).
+    atomic on-disk persistence (one JSON file per tenant, fanned into
+    256 hash-bucket shard directories), an LRU bound on resident
+    tenants, and per-tenant admission rate limiting.
 :mod:`.batcher`
     :class:`DeadlineBatcher` — per-(tenant, key) queues dispatched when
     they reach the target batch size *or* the oldest request's latency

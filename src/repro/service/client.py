@@ -64,6 +64,17 @@ class ServiceClient:
         """Whether the connection has flipped to v3 binary frames."""
         return self._binary
 
+    @property
+    def alive(self) -> bool:
+        """Whether the connection can still carry requests.
+
+        ``False`` once the read loop has exited (server hung up, fatal
+        error, or :meth:`close`); callers holding pooled connections —
+        the cluster router — check this before reuse instead of paying
+        a doomed round trip.
+        """
+        return not self._read_task.done()
+
     @classmethod
     async def connect(cls, host: str = "127.0.0.1",
                       port: int = 7744) -> "ServiceClient":

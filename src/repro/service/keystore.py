@@ -1,22 +1,60 @@
-"""Multi-tenant keystore: named keys, per-tenant parameter set, persistence.
+"""Sharded multi-tenant keystore: named keys, LRU cache, admission limits.
 
 A tenant is a named customer of the signing service.  Each tenant is
 pinned to one SPHINCS+ parameter set (all of its keys share it — that is
 what lets the batcher group a tenant's traffic into one ``sign_batch``
 call) and owns any number of named key pairs.
 
-Persistence is one JSON file per tenant under the keystore root::
+On-disk shard format
+--------------------
+Persistence is one JSON file per tenant, fanned out into shard
+directories so a node serving millions of tenants never holds one
+directory with millions of entries (and a cluster node can rsync or
+mount just the shards it owns)::
 
     <root>/
-      acme.json      {"tenant": "acme", "params": "SPHINCS+-128f",
-                      "keys": {"default": {"sk_seed": <hex>, ...}}}
-      edge-fleet.json
+      shards/
+        1f/acme.json       {"tenant": "acme", "params": "SPHINCS+-128f",
+                            "keys": {"default": {"sk_seed": <hex>, ...}}}
+        9c/edge-fleet.json
+
+The shard directory is the first byte of ``sha256(tenant)`` in hex —
+the same hash family the cluster's :class:`~repro.runtime.pool.HashRing`
+uses for placement, so co-owned tenants cluster on disk the way they
+cluster on the ring.  The per-tenant JSON payload is unchanged from the
+original flat layout; only the location moved.
 
 Every save writes the whole tenant file to ``<name>.json.tmp`` and then
 ``os.replace``\\ s it over the live file, so a crash mid-write can never
 leave a torn keystore — readers see the old file or the new one, nothing
 in between.  A :class:`Keystore` constructed without a root keeps
 everything in memory (tests, demos, ephemeral services).
+
+Migration from the flat layout
+------------------------------
+Keystores written before the sharded layout stored each tenant directly
+under the root (``<root>/acme.json``).  Opening such a root with this
+class upgrades it transparently: every flat tenant file is validated,
+rewritten byte-for-byte-equivalent into its shard directory, and the
+original is kept aside as ``<name>.json.migrated`` for rollback.
+Corrupt files — flat or sharded — are quarantined as
+``<name>.json.corrupt`` exactly as before, and the constructor raises
+one combined :class:`~repro.errors.KeystoreError` naming all of them.
+
+LRU key cache and admission control
+-----------------------------------
+A disk-backed store keeps at most ``max_cached`` tenant records in
+memory (``None`` = unbounded, the historical behavior); lookups load
+evicted tenants back from their shard file on demand.  This is what
+lets a cluster node point at a keystore holding every tenant while
+resident memory tracks only the shards the ring homes on it.
+
+``rate_limit`` arms a per-tenant token bucket (``rate_limit`` admissions
+per second, bursting to ``rate_burst``); :meth:`admit` answers whether a
+request may proceed and the signing service sheds with
+:class:`~repro.errors.OverloadedError` when it says no.  Memory-only
+stores never evict (a dropped record would be unrecoverable) but do
+rate-limit.
 """
 
 from __future__ import annotations
@@ -25,6 +63,8 @@ import hashlib
 import json
 import os
 import re
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -33,11 +73,22 @@ from ..errors import KeystoreError
 from ..params import get_params
 from ..sphincs.signer import KeyPair, Sphincs
 
-__all__ = ["Keystore", "TenantRecord", "derive_seed"]
+__all__ = ["Keystore", "TenantRecord", "derive_seed", "shard_prefix"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 _KEY_FIELDS = ("sk_seed", "sk_prf", "pk_seed", "pk_root")
+
+#: Subdirectory of the keystore root that holds the shard fan-out.
+SHARD_DIR = "shards"
+
+#: Suffix a flat-layout tenant file gets after its transparent upgrade.
+MIGRATED_SUFFIX = ".migrated"
+
+
+def shard_prefix(tenant: str) -> str:
+    """The shard directory (two hex chars) a tenant's file lives under."""
+    return hashlib.sha256(tenant.encode()).hexdigest()[:2]
 
 
 def derive_seed(label: str, n: int) -> bytes:
@@ -64,12 +115,76 @@ class TenantRecord:
     keys: dict[str, KeyPair] = field(default_factory=dict)
 
 
-class Keystore:
-    """Tenant and key registry with optional on-disk persistence."""
+class _TokenBucket:
+    """Per-tenant admission budget: *rate* tokens/s, bursting to *burst*."""
 
-    def __init__(self, root: str | Path | None = None):
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+    def take(self, now: float) -> bool:
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class Keystore:
+    """Tenant and key registry with optional sharded on-disk persistence.
+
+    Parameters
+    ----------
+    root:
+        Keystore directory (``None`` = memory-only).  A flat pre-shard
+        layout found here is upgraded in place (see the module docstring).
+    max_cached:
+        Most tenant records held in memory at once for a disk-backed
+        store; least-recently-used records are evicted and reloaded from
+        their shard file on demand.  ``None`` (default) caches everything.
+        Ignored without a root — a memory-only record has no disk copy
+        to reload.
+    rate_limit / rate_burst:
+        Default per-tenant admission budget: *rate_limit* requests per
+        second, bursting to *rate_burst* (default: ``max(1, rate_limit)``).
+        ``None`` (default) admits everything.  Override a single tenant
+        with :meth:`set_rate_limit`.
+    clock:
+        Monotonic time source for the buckets (injectable for tests).
+    """
+
+    def __init__(self, root: str | Path | None = None, *,
+                 max_cached: int | None = None,
+                 rate_limit: float | None = None,
+                 rate_burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_cached is not None and max_cached < 1:
+            raise KeystoreError(
+                f"max_cached must be >= 1 or None, got {max_cached}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise KeystoreError(
+                f"rate_limit must be > 0 or None, got {rate_limit}")
         self.root = Path(root) if root is not None else None
-        self._tenants: dict[str, TenantRecord] = {}
+        self.max_cached = max_cached if self.root is not None else None
+        self.rate_limit = rate_limit
+        self.rate_burst = (rate_burst if rate_burst is not None
+                           else (max(1.0, rate_limit)
+                                 if rate_limit is not None else None))
+        self._clock = clock
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._overrides: dict[str, tuple[float, float] | None] = {}
+        #: Loaded records, most-recently-used last (the eviction order).
+        self._tenants: OrderedDict[str, TenantRecord] = OrderedDict()
+        #: Every tenant on disk: name -> its shard file.
+        self._index: dict[str, Path] = {}
+        self._stats = {"hits": 0, "misses": 0, "loads": 0, "evictions": 0,
+                       "rate_denials": 0}
         # Key-lifecycle listeners: fn(event, tenant, key_name, old_keys).
         # Events: "key-rotated" (old_keys = the retired pair) and
         # "tenant-deleted" (fired once per key the tenant held).  The
@@ -80,12 +195,35 @@ class Keystore:
                                         KeyPair | None], None]] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
-            # Quarantine *every* corrupt tenant file in one pass (not just
-            # the first), so a single reload after the error comes up
-            # cleanly with all healthy tenants no matter how many files
-            # were damaged.
-            failures = []
-            for path in sorted(self.root.glob("*.json")):
+            self._open_root()
+
+    # ------------------------------------------------------------------
+    # Open / migrate
+    # ------------------------------------------------------------------
+    def _open_root(self) -> None:
+        """Validate and index every tenant file; upgrade the flat layout.
+
+        Quarantines *every* corrupt tenant file in one pass (not just
+        the first), so a single reload after the error comes up cleanly
+        with all healthy tenants no matter how many files were damaged.
+        """
+        failures = []
+        # Flat pre-shard layout: validate, rewrite into the shard tree,
+        # keep the original aside as ``.migrated`` for rollback.
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                record = self._load_tenant(path)
+            except KeystoreError as exc:
+                quarantined = self._quarantine(path)
+                failures.append(f"{exc} (quarantined to "
+                                f"{quarantined.name})")
+                continue
+            self._cache(record)
+            self._save(record)
+            os.replace(path, path.with_name(path.name + MIGRATED_SUFFIX))
+        shard_root = self.root / SHARD_DIR
+        if shard_root.is_dir():
+            for path in sorted(shard_root.glob("*/*.json")):
                 try:
                     record = self._load_tenant(path)
                 except KeystoreError as exc:
@@ -93,12 +231,13 @@ class Keystore:
                     failures.append(f"{exc} (quarantined to "
                                     f"{quarantined.name})")
                     continue
-                self._tenants[record.name] = record
-            if failures:
-                raise KeystoreError(
-                    "; ".join(failures) + " — restore good copies or "
-                    "delete the quarantined files, then reload the keystore"
-                )
+                self._index[record.name] = path
+                self._cache(record)
+        if failures:
+            raise KeystoreError(
+                "; ".join(failures) + " — restore good copies or "
+                "delete the quarantined files, then reload the keystore"
+            )
 
     # ------------------------------------------------------------------
     # Tenant and key management
@@ -111,11 +250,11 @@ class Keystore:
                 f"invalid tenant name {name!r}: use letters, digits, "
                 "'.', '_', '-'"
             )
-        existing = self._tenants.get(name)
         params_name = get_params(params).name
-        if existing is not None:
+        if name in self._tenants or name in self._index:
             if not exist_ok:
                 raise KeystoreError(f"tenant {name!r} already exists")
+            existing = self._record(name)
             if existing.params != params_name:
                 raise KeystoreError(
                     f"tenant {name!r} is pinned to {existing.params}, "
@@ -123,7 +262,7 @@ class Keystore:
                 )
             return existing
         record = TenantRecord(name=name, params=params_name)
-        self._tenants[name] = record
+        self._cache(record)
         self._save(record)
         return record
 
@@ -169,20 +308,22 @@ class Keystore:
         return new_keys
 
     def delete_tenant(self, name: str) -> None:
-        """Remove a tenant, its keys, and its on-disk file.
+        """Remove a tenant, its keys, and its on-disk shard file.
 
         Listeners get one ``("tenant-deleted", name, key_name,
         old_keys)`` event per key the tenant held, so per-key caches can
         be invalidated individually.
         """
         record = self._record(name)
-        del self._tenants[name]
-        if self.root is not None:
-            path = self.root / f"{record.name}.json"
+        self._tenants.pop(name, None)
+        path = self._index.pop(name, None)
+        if path is not None:
             try:
                 os.remove(path)
             except FileNotFoundError:
                 pass
+        self._buckets.pop(name, None)
+        self._overrides.pop(name, None)
         for key_name, old_keys in sorted(record.keys.items()):
             self._notify("tenant-deleted", name, key_name, old_keys)
 
@@ -209,7 +350,7 @@ class Keystore:
         return keys, record.params
 
     def tenants(self) -> tuple[str, ...]:
-        return tuple(sorted(self._tenants))
+        return tuple(sorted(set(self._tenants) | set(self._index)))
 
     def key_names(self, tenant: str) -> tuple[str, ...]:
         return tuple(sorted(self._record(tenant).keys))
@@ -217,18 +358,101 @@ class Keystore:
     def params_for(self, tenant: str) -> str:
         return self._record(tenant).params
 
+    # ------------------------------------------------------------------
+    # Admission rate limiting
+    # ------------------------------------------------------------------
+    def set_rate_limit(self, tenant: str, rate_limit: float | None,
+                       rate_burst: float | None = None) -> None:
+        """Override the store-wide admission budget for one tenant.
+
+        ``rate_limit=None`` exempts the tenant from rate limiting even
+        when the store has a default budget.  Takes effect on the
+        tenant's next :meth:`admit` call.
+        """
+        self._record(tenant)  # raises for unknown tenants
+        if rate_limit is None:
+            self._overrides[tenant] = None
+        else:
+            if rate_limit <= 0:
+                raise KeystoreError(
+                    f"rate_limit must be > 0 or None, got {rate_limit}")
+            self._overrides[tenant] = (
+                rate_limit,
+                rate_burst if rate_burst is not None
+                else max(1.0, rate_limit))
+        self._buckets.pop(tenant, None)
+
+    def admit(self, tenant: str) -> bool:
+        """Whether *tenant* may submit one more request right now.
+
+        ``True`` consumes one token from the tenant's bucket.  Always
+        ``True`` when neither the store default nor a per-tenant
+        override configures a budget.  Unknown tenants are admitted —
+        the keystore lookup that follows reports them properly.
+        """
+        if tenant in self._overrides:
+            override = self._overrides[tenant]
+            if override is None:
+                return True
+            rate, burst = override
+        elif self.rate_limit is not None:
+            rate, burst = self.rate_limit, self.rate_burst
+        else:
+            return True
+        now = self._clock()
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = _TokenBucket(rate, burst, now)
+        if bucket.take(now):
+            return True
+        self._stats["rate_denials"] += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # LRU cache
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Cache and admission counters plus the current residency."""
+        return {**self._stats, "resident": len(self._tenants),
+                "known": len(set(self._tenants) | set(self._index)),
+                "max_cached": self.max_cached}
+
+    def _cache(self, record: TenantRecord) -> None:
+        self._tenants[record.name] = record
+        self._tenants.move_to_end(record.name)
+        if self.max_cached is not None:
+            while len(self._tenants) > self.max_cached:
+                self._tenants.popitem(last=False)
+                self._stats["evictions"] += 1
+
     def _record(self, tenant: str) -> TenantRecord:
         record = self._tenants.get(tenant)
-        if record is None:
-            known = ", ".join(self.tenants()) or "<none>"
-            raise KeystoreError(
-                f"unknown tenant {tenant!r} (tenants: {known})"
-            )
-        return record
+        if record is not None:
+            self._stats["hits"] += 1
+            self._tenants.move_to_end(tenant)
+            return record
+        path = self._index.get(tenant)
+        if path is not None:
+            self._stats["misses"] += 1
+            self._stats["loads"] += 1
+            record = self._load_tenant(path)
+            self._cache(record)
+            return record
+        known = ", ".join(self.tenants()) or "<none>"
+        raise KeystoreError(
+            f"unknown tenant {tenant!r} (tenants: {known})"
+        )
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    def shard_path(self, tenant: str) -> Path:
+        """The sharded on-disk location of *tenant*'s file."""
+        if self.root is None:
+            raise KeystoreError("memory-only keystore has no shard paths")
+        return (self.root / SHARD_DIR / shard_prefix(tenant)
+                / f"{tenant}.json")
+
     def _save(self, record: TenantRecord) -> None:
         if self.root is None:
             return
@@ -240,13 +464,15 @@ class Keystore:
                 for key_name, keys in sorted(record.keys.items())
             },
         }
-        path = self.root / f"{record.name}.json"
+        path = self.shard_path(record.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
         # 0600: the file holds secret key material (sk_seed, sk_prf).
         fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
         with os.fdopen(fd, "w") as handle:
             handle.write(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, path)
+        self._index[record.name] = path
 
     def _quarantine(self, path: Path) -> Path:
         """Move a corrupt tenant file aside as ``<name>.json.corrupt``.

@@ -99,8 +99,8 @@ import struct
 from dataclasses import dataclass
 
 from ..errors import (ConnectionLostError, FrameTooLargeError, KeystoreError,
-                      OverloadedError, ProtocolError, ServiceError,
-                      UnknownVerbError, UnsupportedVersionError)
+                      NodeUnavailableError, OverloadedError, ProtocolError,
+                      ServiceError, UnknownVerbError, UnsupportedVersionError)
 from ..params import PARAMETER_SETS
 
 __all__ = [
@@ -153,6 +153,7 @@ ERROR_INTERNAL = "internal"
 ERROR_UNKNOWN_VERB = "unknown-verb"            # v2: op not in the verb table
 ERROR_UNSUPPORTED_VERSION = "unsupported-version"
 ERROR_CONNECTION_LOST = "connection-lost"      # client-side synthetic code
+ERROR_UNAVAILABLE = "unavailable"              # cluster: no live node owns it
 
 #: Wire error code -> the typed exception a client raises for it.  The
 #: single authoritative map: both the v1 ServiceClient and the repro.api
@@ -164,6 +165,7 @@ ERROR_TYPES: dict[str, type[ServiceError]] = {
     ERROR_UNKNOWN_VERB: UnknownVerbError,
     ERROR_UNSUPPORTED_VERSION: UnsupportedVersionError,
     ERROR_CONNECTION_LOST: ConnectionLostError,
+    ERROR_UNAVAILABLE: NodeUnavailableError,
 }
 
 

@@ -209,6 +209,14 @@ class SigningService:
         :class:`OverloadedError` when the service sheds the request.
         """
         self.keystore.resolve(tenant, key_name)  # fail fast, before queueing
+        admit = getattr(self.keystore, "admit", None)
+        if admit is not None and not admit(tenant):
+            self.telemetry.record_shed(tenant)
+            _log.warn("request-rate-limited", tenant=tenant)
+            raise OverloadedError(
+                f"tenant {tenant!r} exhausted its admission rate-limit "
+                "budget; request shed"
+            )
         # Dispatched-but-unsigned requests (batcher.in_flight) still hold
         # capacity: batches serialize behind the sign lock, so sustained
         # overload must shed instead of piling batches up there.
@@ -565,6 +573,28 @@ class SigningServer:
         if self._connections:
             await asyncio.gather(*list(self._connections),
                                  return_exceptions=True)
+
+    async def abort(self) -> None:
+        """Kill the server *without* draining — simulates a node crash.
+
+        Connections are torn down at the transport layer (peers see a
+        reset, not a clean EOF) and queued work is abandoned.  Chaos and
+        failover tests use this to exercise the cluster router's
+        re-homing path; production shutdown goes through :meth:`stop`.
+        """
+        _log.warn("server-aborted", port=self.port)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections.values()):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._connections:
+            await asyncio.gather(*list(self._connections),
+                                 return_exceptions=True)
+        self.service.close()
 
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader: asyncio.StreamReader,

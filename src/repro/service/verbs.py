@@ -20,8 +20,8 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
-from ..errors import (KeystoreError, OverloadedError, ProtocolError,
-                      UnknownVerbError)
+from ..errors import (KeystoreError, NodeUnavailableError, OverloadedError,
+                      ProtocolError, UnknownVerbError)
 from ..obs.trace import TraceContext, new_span_id, use_trace
 from . import protocol
 
@@ -261,11 +261,11 @@ async def _verb_sign_many(server, conn: ConnectionState, args: dict) -> dict:
     results = []
     for outcome in outcomes:
         if isinstance(outcome, BaseException):
-            code = (protocol.ERROR_OVERLOADED
-                    if isinstance(outcome, OverloadedError)
-                    else protocol.ERROR_INTERNAL)
+            # The shared mapping keeps per-item codes identical to the
+            # whole-frame ones ("overloaded", "unavailable", ...).
+            code, detail = error_body(outcome, conn.version)
             results.append({"ok": False, "error": code,
-                            "detail": str(outcome)})
+                            "detail": detail})
         else:
             results.append({
                 "ok": True,
@@ -319,6 +319,8 @@ def error_body(exc: BaseException, version: int) -> tuple[str, str]:
         return protocol.ERROR_PROTOCOL, str(exc)
     if isinstance(exc, OverloadedError):
         return protocol.ERROR_OVERLOADED, str(exc)
+    if isinstance(exc, NodeUnavailableError):
+        return protocol.ERROR_UNAVAILABLE, str(exc)
     if isinstance(exc, KeystoreError):
         return protocol.ERROR_UNKNOWN_KEY, str(exc)
     return protocol.ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"

@@ -19,7 +19,7 @@ Correctness in this repository is enforced by machinery, not eyeballs:
 * :mod:`.fixtures` — the same machinery as a **pytest fixture library**.
 
 CLI entry point: ``python -m repro conformance`` (see the README's
-"Testing & conformance" section).
+"Correctness: machine-checked" section).
 """
 
 from .chaos import FlakyProxy

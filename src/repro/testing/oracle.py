@@ -337,6 +337,13 @@ class DifferentialOracle:
                 self._run_client_tcp(scheme, keys, expected, version=2)))
             results.append(asyncio.run(
                 self._run_client_tcp(scheme, keys, expected, version=3)))
+            # The cluster tier joins the same contract: placement and
+            # failover must never change a byte of signature output.
+            results.append(asyncio.run(
+                self._run_client_cluster(scheme, keys, expected)))
+            results.append(asyncio.run(
+                self._run_client_cluster(scheme, keys, expected,
+                                         chaos=True)))
 
         fault_hop = None
         if self.fault is not None and self.corpus:
@@ -652,6 +659,68 @@ class DifferentialOracle:
                 await client.close()
             if server is not None:
                 await server.stop()
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    async def _run_client_cluster(self, scheme: Sphincs, keys: KeyPair,
+                                  expected: dict[str, bytes],
+                                  chaos: bool = False) -> PathResult:
+        """Facade -> cluster router -> 2 signing nodes, byte-compared.
+
+        With ``chaos=True`` the node owning the "oracle" tenant is
+        killed halfway through the corpus: the router must re-home the
+        shard onto the surviving node and — because both nodes hold
+        identically seeded keys and sign deterministically — the
+        failover signatures must stay byte-identical too.
+        """
+        from ..api import AsyncClusterClient
+        from ..cluster import LocalCluster
+        from ..service import SigningService, protocol
+
+        result = PathResult(path="client:cluster-chaos" if chaos
+                            else "client:cluster")
+        started = time.perf_counter()
+        budget = protocol.MAX_MESSAGE_BYTES_V3
+        corpus = [(case, message) for case, message in self.corpus
+                  if len(message) <= budget]
+        cluster = None
+        client = None
+        try:
+            def factory() -> SigningService:
+                return SigningService(
+                    self._client_keystore(), backend=self.service_backend,
+                    target_batch_size=max(2, len(corpus) // 2),
+                    max_wait_s=0.05,
+                    max_pending=max(64, 2 * len(corpus)),
+                    deterministic=True)
+
+            cluster = await LocalCluster(
+                [factory, factory], health_interval_s=0.05).start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            messages = [message for _, message in corpus]
+            if chaos:
+                half = max(1, len(messages) // 2)
+                signed = list(await client.sign_many(
+                    "oracle", messages[:half]))
+                # Kill the shard's current owner between batches: the
+                # second half must come back from the failover node.
+                await cluster.kill_node(cluster.owner("oracle"))
+                signed.extend(await client.sign_many(
+                    "oracle", messages[half:]))
+            else:
+                signed = list(await client.sign_many("oracle", messages))
+            case, message = corpus[0]
+            verdict = await client.verify("oracle", message,
+                                          signed[0].signature)
+            self._client_compare(result, scheme, keys, expected, corpus,
+                                 signed, verdict)
+        except Exception as exc:  # noqa: BLE001
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if client is not None:
+                await client.close()
+            if cluster is not None:
+                await cluster.stop()
         result.elapsed_s = time.perf_counter() - started
         return result
 

@@ -1,0 +1,249 @@
+"""The cluster tier end-to-end: placement, failover, re-homing, typing.
+
+Every test runs real ``SigningServer`` nodes on loopback ports behind a
+real ``ClusterRouter`` (via ``LocalCluster``), driven through the typed
+``AsyncClusterClient`` — the same stack ``repro serve-cluster`` runs.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api import AsyncClusterClient
+from repro.cluster import LocalCluster, RouterService
+from repro.errors import (KeystoreError, NodeUnavailableError,
+                          OverloadedError, ServiceError)
+from repro.params import get_params
+from repro.service import Keystore, SigningService, derive_seed
+from repro.sphincs.signer import Sphincs
+
+TENANTS = ("acme", "edge", "wallet")
+
+
+def make_keystore(**kwargs) -> Keystore:
+    """Identically seeded on every call — the cluster key invariant."""
+    keystore = Keystore(**kwargs)
+    for name in TENANTS:
+        keystore.add_tenant(name, "128f")
+        keystore.generate_key(
+            name, "default",
+            seed=derive_seed(f"cluster/{name}", get_params("128f").n))
+    return keystore
+
+
+def make_service() -> SigningService:
+    return SigningService(make_keystore(), target_batch_size=2,
+                          max_wait_s=0.02, deterministic=True)
+
+
+def make_cluster(nodes: int = 2, **kwargs) -> LocalCluster:
+    kwargs.setdefault("health_interval_s", 0.05)
+    return LocalCluster([make_service] * nodes, **kwargs)
+
+
+def reference_signature(tenant: str, message: bytes) -> bytes:
+    keys, params = make_keystore().resolve(tenant)
+    return Sphincs(params, deterministic=True).sign(message, keys)
+
+
+class TestConstruction:
+    def test_rejects_empty_node_list(self):
+        with pytest.raises(ServiceError, match="at least one node"):
+            RouterService([], make_keystore())
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ServiceError, match="max_retries"):
+            RouterService([("127.0.0.1", 1)], make_keystore(),
+                          max_retries=-1)
+
+    def test_local_cluster_needs_a_factory(self):
+        with pytest.raises(ServiceError, match="factory"):
+            LocalCluster([])
+
+
+class TestEndToEnd:
+    def test_signatures_byte_identical_and_verified(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                for tenant in TENANTS:
+                    message = f"payment for {tenant}".encode()
+                    result = await client.sign(tenant, message)
+                    assert result.transport == "cluster"
+                    # The outcome names the node that actually signed.
+                    assert result.backend.startswith("node")
+                    assert result.signature == reference_signature(
+                        tenant, message)
+                    verdict = await client.verify(tenant, message,
+                                                  result.signature)
+                    assert verdict.valid
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_stats_carries_the_cluster_section(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                await client.sign("acme", b"hello")
+                snapshot = cluster.router_service.stats()
+                section = snapshot["cluster"]
+                assert section["live_nodes"] == 2
+                assert len(section["nodes"]) == 2
+                assert all(node["up"] for node in section["nodes"])
+                assert section["shards"]["acme"] == cluster.owner("acme")
+                assert snapshot["config"]["backend"] == "cluster"
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_unknown_tenant_fails_fast_and_typed(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                with pytest.raises(KeystoreError, match="unknown tenant"):
+                    await client.sign("nobody", b"x")
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_placement_is_ring_deterministic(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            try:
+                service = cluster.router_service
+                for tenant in TENANTS:
+                    # owner == first entry of the ring preference order.
+                    assert service.owner(tenant) == \
+                        service.ring.preference(tenant)[0]
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestFailover:
+    def test_node_kill_rehomes_and_keeps_bytes(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                tenant, message = "acme", b"before and after"
+                first = await client.sign(tenant, message)
+                victim = cluster.owner(tenant)
+                await cluster.kill_node(victim)
+                second = await client.sign(tenant, message)
+                # Re-signed on the survivor: same deterministic bytes.
+                assert second.signature == first.signature
+                assert second.backend.startswith(f"node{1 - victim}")
+                snapshot = cluster.router_service.stats()
+                assert snapshot["cluster"]["live_nodes"] == 1
+                assert snapshot["cluster"]["rehomes"] >= 1
+                assert snapshot["cluster"]["shards"][tenant] == 1 - victim
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_all_nodes_down_is_typed_unavailable(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                await cluster.kill_node(0)
+                await cluster.kill_node(1)
+                with pytest.raises(NodeUnavailableError):
+                    await asyncio.wait_for(client.sign("acme", b"x"),
+                                           timeout=30)
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_recovered_node_takes_its_tenants_back(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                tenant = "acme"
+                primary = cluster.owner(tenant)
+                await cluster.kill_node(primary)
+                await client.sign(tenant, b"on the survivor")
+                assert cluster.owner(tenant) == 1 - primary
+                await cluster.restart_node(primary)
+                # The health loop re-dials the restarted port; wait for
+                # the router to see it come back.
+                for _ in range(100):
+                    snapshot = cluster.router_service.stats()
+                    if snapshot["cluster"]["live_nodes"] == 2:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    raise AssertionError("health loop never recovered "
+                                         "the restarted node")
+                # Ring order never changed: the tenant snaps back.
+                assert cluster.owner(tenant) == primary
+                result = await client.sign(tenant, b"back home")
+                assert result.backend.startswith(f"node{primary}")
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+    def test_health_loop_flips_the_liveness_gauge(self):
+        async def scenario():
+            cluster = await make_cluster().start()
+            try:
+                await cluster.kill_node(0)
+                # No traffic at all: the background health loop alone
+                # must notice the dead node.
+                for _ in range(100):
+                    snapshot = cluster.router_service.stats()
+                    if snapshot["cluster"]["live_nodes"] == 1:
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    raise AssertionError("health loop never marked the "
+                                         "killed node down")
+                registry = cluster.router_service.metrics_registry
+                up = {entry["labels"]["node"]: entry["value"]
+                      for entry in
+                      registry.collect()["repro_node_up"]["series"]}
+                assert up == {"0": 0.0, "1": 1.0}
+            finally:
+                await cluster.stop()
+
+        asyncio.run(scenario())
+
+
+class TestAdmission:
+    def test_router_rate_limit_sheds_typed_overloaded(self):
+        async def scenario():
+            limited = make_keystore(rate_limit=0.001, rate_burst=1.0)
+            cluster = await make_cluster(
+                router_keystore=limited).start()
+            client = await AsyncClusterClient.connect(port=cluster.port)
+            try:
+                first = await client.sign("acme", b"allowed")
+                assert first.signature
+                with pytest.raises(OverloadedError, match="rate-limit"):
+                    await client.sign("acme", b"denied")
+                snapshot = cluster.router_service.stats()
+                assert snapshot["cluster"]["live_nodes"] == 2
+            finally:
+                await client.close()
+                await cluster.stop()
+
+        asyncio.run(scenario())

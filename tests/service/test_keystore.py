@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import KeystoreError
 from repro.service import Keystore, derive_seed
+from repro.service.keystore import shard_prefix
 from repro.sphincs.signer import Sphincs
 
 
@@ -90,21 +91,32 @@ class TestPersistence:
         keystore = Keystore(tmp_path)
         keystore.add_tenant("acme")
         keystore.generate_key("acme", seed=bytes(48))
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["acme.json"]
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["shards"]
+        shard = keystore.shard_path("acme")
+        assert shard.read_text()  # the live file, no .tmp siblings
+        assert sorted(p.name for p in shard.parent.iterdir()) == ["acme.json"]
 
     def test_tenant_files_are_owner_only(self, tmp_path):
         """The files hold secret key material — never world-readable."""
         keystore = Keystore(tmp_path)
         keystore.add_tenant("acme")
         keystore.generate_key("acme", seed=bytes(48))
-        mode = (tmp_path / "acme.json").stat().st_mode & 0o777
+        mode = keystore.shard_path("acme").stat().st_mode & 0o777
         assert mode == 0o600
+
+    def test_sharded_layout(self, tmp_path):
+        """Tenant files fan out under shards/<first-sha256-byte>/."""
+        keystore = Keystore(tmp_path)
+        keystore.add_tenant("acme")
+        path = keystore.shard_path("acme")
+        assert path == tmp_path / "shards" / shard_prefix("acme") / "acme.json"
+        assert path.is_file()
 
     def test_file_layout(self, tmp_path):
         keystore = Keystore(tmp_path)
         keystore.add_tenant("acme", "128f")
         keystore.generate_key("acme", seed=bytes(48))
-        payload = json.loads((tmp_path / "acme.json").read_text())
+        payload = json.loads(keystore.shard_path("acme").read_text())
         assert payload["tenant"] == "acme"
         assert payload["params"] == "SPHINCS+-128f"
         key = payload["keys"]["default"]
@@ -138,6 +150,180 @@ class TestPersistence:
         }))
         with pytest.raises(KeystoreError, match="must be 16 bytes"):
             Keystore(tmp_path)
+
+
+class TestMigration:
+    """Opening a flat pre-shard root upgrades it transparently."""
+
+    def _seed_flat_layout(self, tmp_path):
+        """Write two tenants in the historical flat layout and return the
+        original file bytes for later byte-identity checks."""
+        old = Keystore()  # memory-only: build records without touching disk
+        originals = {}
+        for name, params, n in (("acme", "128f", 16), ("edge", "192f", 24)):
+            old.add_tenant(name, params)
+            old.generate_key(name, seed=derive_seed(name, n))
+            sharded = Keystore(tmp_path / "scratch")
+            sharded.add_tenant(name, params)
+            sharded.generate_key(name, seed=derive_seed(name, n))
+            flat = tmp_path / f"{name}.json"
+            flat.write_bytes(sharded.shard_path(name).read_bytes())
+            originals[name] = flat.read_bytes()
+        import shutil
+        shutil.rmtree(tmp_path / "scratch")
+        return originals
+
+    def test_flat_layout_migrates_to_shards(self, tmp_path):
+        originals = self._seed_flat_layout(tmp_path)
+        keystore = Keystore(tmp_path)
+        assert keystore.tenants() == ("acme", "edge")
+        for name in ("acme", "edge"):
+            # Keys come through byte-identical...
+            assert keystore.shard_path(name).read_bytes() == originals[name]
+            # ...the flat original is kept aside for rollback...
+            assert (tmp_path / f"{name}.json.migrated").exists()
+            assert not (tmp_path / f"{name}.json").exists()
+
+    def test_migrated_keys_byte_identical(self, tmp_path):
+        self._seed_flat_layout(tmp_path)
+        migrated = Keystore(tmp_path)
+        reference = Keystore()
+        for name, n in (("acme", 16), ("edge", 24)):
+            reference.add_tenant(name, migrated.params_for(name))
+            reference.generate_key(name, seed=derive_seed(name, n))
+            got, _ = migrated.resolve(name)
+            want, _ = reference.resolve(name)
+            assert got.secret == want.secret
+            assert got.public == want.public
+
+    def test_migration_is_idempotent(self, tmp_path):
+        self._seed_flat_layout(tmp_path)
+        Keystore(tmp_path)
+        again = Keystore(tmp_path)  # second open: nothing left to migrate
+        assert again.tenants() == ("acme", "edge")
+        assert sorted(p.name for p in tmp_path.glob("*.json")) == []
+
+    def test_corrupt_flat_file_quarantined_in_place(self, tmp_path):
+        self._seed_flat_layout(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(KeystoreError, match="corrupt keystore"):
+            Keystore(tmp_path)
+        assert (tmp_path / "bad.json.corrupt").exists()
+        assert not (tmp_path / "bad.json").exists()
+        # Healthy tenants still migrated; a clean reload succeeds.
+        reloaded = Keystore(tmp_path)
+        assert reloaded.tenants() == ("acme", "edge")
+
+
+class TestLRUCache:
+    def _populated(self, tmp_path, count=4, max_cached=None):
+        seedstore = Keystore(tmp_path)
+        for i in range(count):
+            seedstore.add_tenant(f"t{i}")
+            seedstore.generate_key(f"t{i}", seed=derive_seed(f"t{i}", 16))
+        return Keystore(tmp_path, max_cached=max_cached)
+
+    def test_eviction_bounds_residency(self, tmp_path):
+        keystore = self._populated(tmp_path, count=4, max_cached=2)
+        for i in range(4):
+            keystore.resolve(f"t{i}")
+        stats = keystore.cache_stats()
+        assert stats["resident"] <= 2
+        assert stats["known"] == 4
+        assert stats["evictions"] >= 2
+
+    def test_evicted_tenant_reloads_from_shard(self, tmp_path):
+        keystore = self._populated(tmp_path, count=3, max_cached=1)
+        first, _ = keystore.resolve("t0")
+        keystore.resolve("t1")  # evicts t0
+        keystore.resolve("t2")  # evicts t1
+        again, _ = keystore.resolve("t0")  # cache miss -> shard reload
+        assert again.secret == first.secret
+        assert keystore.cache_stats()["loads"] >= 3
+
+    def test_hot_tenant_stays_resident(self, tmp_path):
+        keystore = self._populated(tmp_path, count=3, max_cached=2)
+        keystore.resolve("t0")
+        before = keystore.cache_stats()["hits"]
+        for other in ("t1", "t2", "t1", "t2"):
+            keystore.resolve(other)
+            keystore.resolve("t0")  # touch keeps t0 most-recently-used
+        assert keystore.cache_stats()["loads"] <= 3 + 2  # t0 loaded once
+        assert keystore.cache_stats()["hits"] > before
+
+    def test_memory_only_store_never_evicts(self, tmp_path):
+        keystore = Keystore(max_cached=1)  # ignored without a root
+        keystore.add_tenant("a")
+        keystore.add_tenant("b")
+        keys = keystore.generate_key("a", seed=bytes(48))
+        keystore.generate_key("b", seed=bytes(48))
+        resolved, _ = keystore.resolve("a")
+        assert resolved is keys
+        assert keystore.cache_stats()["evictions"] == 0
+
+    def test_writes_to_evicted_tenant_persist(self, tmp_path):
+        keystore = self._populated(tmp_path, count=3, max_cached=1)
+        keystore.generate_key("t0", "extra", seed=derive_seed("x", 16))
+        keystore.resolve("t1")
+        keystore.resolve("t2")  # t0 long gone from cache
+        assert keystore.key_names("t0") == ("default", "extra")
+
+
+class TestRateLimit:
+    def _clocked(self, **kwargs):
+        now = [0.0]
+        keystore = Keystore(clock=lambda: now[0], **kwargs)
+        keystore.add_tenant("acme")
+        return keystore, now
+
+    def test_unlimited_by_default(self):
+        keystore = Keystore()
+        keystore.add_tenant("acme")
+        assert all(keystore.admit("acme") for _ in range(1000))
+
+    def test_bucket_denies_past_burst(self):
+        keystore, _ = self._clocked(rate_limit=10, rate_burst=3)
+        assert [keystore.admit("acme") for _ in range(4)] == [
+            True, True, True, False]
+        assert keystore.cache_stats()["rate_denials"] == 1
+
+    def test_bucket_refills_over_time(self):
+        keystore, now = self._clocked(rate_limit=10, rate_burst=1)
+        assert keystore.admit("acme")
+        assert not keystore.admit("acme")
+        now[0] += 0.1  # one token refilled at 10/s
+        assert keystore.admit("acme")
+        assert not keystore.admit("acme")
+
+    def test_per_tenant_override(self):
+        keystore, _ = self._clocked(rate_limit=1, rate_burst=1)
+        keystore.add_tenant("vip")
+        keystore.set_rate_limit("vip", None)  # exempt
+        assert keystore.admit("acme")
+        assert not keystore.admit("acme")
+        assert all(keystore.admit("vip") for _ in range(100))
+        keystore.set_rate_limit("acme", 100, 2)
+        assert [keystore.admit("acme") for _ in range(3)] == [
+            True, True, False]
+
+    def test_tenants_do_not_share_budget(self):
+        keystore, _ = self._clocked(rate_limit=5, rate_burst=1)
+        keystore.add_tenant("edge")
+        assert keystore.admit("acme")
+        assert keystore.admit("edge")  # acme's spend doesn't starve edge
+        assert not keystore.admit("acme")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(KeystoreError, match="rate_limit"):
+            Keystore(rate_limit=0)
+        with pytest.raises(KeystoreError, match="max_cached"):
+            Keystore("unused", max_cached=0)
+        keystore = Keystore()
+        keystore.add_tenant("acme")
+        with pytest.raises(KeystoreError, match="rate_limit"):
+            keystore.set_rate_limit("acme", -1)
+        with pytest.raises(KeystoreError, match="unknown tenant"):
+            keystore.set_rate_limit("ghost", 1)
 
 
 class TestDeriveSeed:

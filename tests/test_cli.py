@@ -116,9 +116,14 @@ class TestServiceCli:
             "--tenants", "acme:128f,edge:128f",
             "--keystore", str(keystore), "--deterministic",
         ]) == 0
-        # Both tenants were provisioned and persisted (one file each).
-        assert sorted(p.name for p in keystore.iterdir()) == [
-            "acme.json", "edge.json"]
+        # Both tenants were provisioned and persisted, one shard file
+        # each under the sharded layout.
+        from repro.service.keystore import shard_prefix
+
+        assert sorted(p.name for p in keystore.iterdir()) == ["shards"]
+        for tenant in ("acme", "edge"):
+            assert (keystore / "shards" / shard_prefix(tenant)
+                    / f"{tenant}.json").exists()
         assert "acme" in capsys.readouterr().out
 
     def test_loadtest_rejects_bad_messages(self, capsys):

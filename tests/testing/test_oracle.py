@@ -40,8 +40,9 @@ class TestCleanTree:
     def test_client_facade_paths_byte_identical(self, differential_oracle):
         """Acceptance: the repro.api facade joins the oracle —
         client:local, client:pooled, client:tcp (pinned to the v2 line
-        protocol) and client:tcp-v3 (binary frames) all byte-identical
-        to the reference scheme."""
+        protocol), client:tcp-v3 (binary frames), and the cluster router
+        (including the kill-a-node chaos variant) all byte-identical to
+        the reference scheme."""
         oracle = differential_oracle(
             "128f", backends=["vectorized", "pooled"], corpus=SMALL_CORPUS,
             include_scheduler=False, include_clients=True)
@@ -50,7 +51,8 @@ class TestCleanTree:
         client_paths = {result.path for result in report.results
                         if result.path.startswith("client:")}
         assert client_paths == {"client:local", "client:pooled",
-                                "client:tcp", "client:tcp-v3"}
+                                "client:tcp", "client:tcp-v3",
+                                "client:cluster", "client:cluster-chaos"}
         for result in report.results:
             if result.path.startswith("client:"):
                 assert result.count == result.matched == result.verified == 3
