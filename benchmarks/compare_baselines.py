@@ -4,7 +4,7 @@
 The JSON perf baselines (``backend_throughput.json``,
 ``service_latency.json``, ``pool_scaling.json``,
 ``obs_overhead.json``, ``wire_efficiency.json``,
-``cluster_scaling.json``) live under
+``cluster_scaling.json``, ``ledger_throughput.json``) live under
 ``benchmarks/results/`` (full mode) and ``benchmarks/results/smoke/``
 (``REPRO_SMOKE=1`` mode) and are committed to the repository.  Running
 the benchmarks rewrites the mode's files in the working tree; this
@@ -64,6 +64,7 @@ BASELINE_SOURCES = {
     "obs_overhead.json": "test_obs_overhead.py",
     "wire_efficiency.json": "test_wire_efficiency.py",
     "cluster_scaling.json": "test_cluster_scaling.py",
+    "ledger_throughput.json": "test_ledger_throughput.py",
 }
 
 
@@ -149,6 +150,14 @@ WATCHED: dict[str, list[Metric]] = {
         # requests (the `base <= 0` rule skips degenerate pins).
         Metric(("node_kill", "signed"), higher_is_better=True,
                optional=True),
+    ],
+    "ledger_throughput.json": [
+        # The write path: batched seals + checkpoint signing + fsync.
+        Metric(("append", "appends_per_s"), higher_is_better=True),
+        # The monitor's read path: generate + verify inclusion proofs.
+        Metric(("proofs", "proofs_per_s"), higher_is_better=True),
+        # The differential audit replay over the on-disk bytes.
+        Metric(("audit", "entries_per_s"), higher_is_better=True),
     ],
 }
 

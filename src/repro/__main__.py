@@ -27,7 +27,14 @@ loadtest
     Drive a signing service with a generated arrival trace (poisson /
     bursty / ramp) and print client latency percentiles plus the
     server's telemetry report.  Self-hosts a server unless ``--connect``
-    names one.
+    names one.  ``--verify-fraction`` turns part of the trace into
+    verify operations for verification-dominant workloads.
+audit
+    Replay a transparency log from its on-disk segments: re-verify
+    every entry's batch signature, recompute every tree head, check the
+    checkpoint chain and signatures (optionally byte-comparing against
+    the reference scheme), and emit a JSON digest report.  Exit 0 when
+    the log survives; exit 1 naming the first bad entry index.
 conformance
     Run the conformance subsystem: the cross-backend differential oracle
     over an adversarial corpus (optionally with an injected hash fault),
@@ -525,13 +532,31 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             return await client.sign(tenant, message,
                                      deadline_ms=args.deadline_ms)
 
+        verifier = None
+        if args.verify_fraction > 0.0:
+            # One seeded (message, signature) pair backs every verify op:
+            # SPHINCS+ verification cost does not depend on which valid
+            # pair is checked, so the load profile is what matters.
+            seed_message = b"loadgen verify seed"
+            seeded = await client.sign(tenant, seed_message)
+
+            async def verifier(message: bytes):
+                return await client.verify(tenant, seed_message,
+                                           seeded.signature)
+
         try:
             offsets = make_trace(args.trace, args.messages, args.rate,
                                  seed=args.seed)
-            generator = LoadGenerator(signer, time_scale=args.time_scale)
+            generator = LoadGenerator(signer, time_scale=args.time_scale,
+                                      verifier=verifier,
+                                      verify_fraction=args.verify_fraction,
+                                      seed=args.seed)
             print(f"replaying {args.messages} requests, trace "
                   f"{args.trace!r} at ~{args.rate}/s "
-                  f"(tenant {tenant!r})...")
+                  f"(tenant {tenant!r}"
+                  + (f", {args.verify_fraction:.0%} verifies"
+                     if args.verify_fraction > 0.0 else "")
+                  + ")...")
             report = await generator.run(offsets, trace=args.trace)
             stats = await client.stats()
         finally:
@@ -555,6 +580,43 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         return 0 if report.failed == 0 else 1
 
     return asyncio.run(run())
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Replay a transparency log and verify every tree head.
+
+    Exit 0 when the whole log re-verifies; exit 1 (naming the first bad
+    entry index on stderr) when any entry signature, tree head, chain
+    link, or checkpoint signature fails the replay.
+    """
+    import json
+
+    from .errors import LedgerError
+    from .ledger import run_audit
+    from .service import Keystore
+
+    try:
+        report = run_audit(args.root, Keystore(root=args.keystore),
+                           tenant=args.tenant, key=args.key,
+                           deterministic=args.deterministic)
+    except LedgerError as exc:
+        print(f"audit: {exc}", file=sys.stderr)
+        return 2
+    rendered = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"digest report -> {args.out}")
+    else:
+        print(rendered)
+    if report["ok"]:
+        return 0
+    where = report["first_bad_index"]
+    print("audit: log failed verification"
+          + (f" (first bad entry index: {where})" if where is not None
+             else "")
+          + f" — {len(report['problems'])} problem(s)", file=sys.stderr)
+    return 1
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
@@ -817,8 +879,33 @@ def main(argv: list[str] | None = None) -> int:
                             choices=(2, 3),
                             help="wire protocol to offer (default: v3 "
                                  "binary frames, auto-downgrade to v2)")
+    p_loadtest.add_argument("--verify-fraction", type=float, default=0.0,
+                            metavar="F",
+                            help="turn this fraction of requests into "
+                                 "verify operations (0.9 models "
+                                 "verification-dominant traffic)")
     _add_service_args(p_loadtest)
     p_loadtest.set_defaults(func=_cmd_loadtest)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="replay a transparency log, re-verify every tree head")
+    p_audit.add_argument("--root", required=True,
+                        help="ledger directory (segments/ + checkpoints/)")
+    p_audit.add_argument("--keystore", required=True,
+                        help="keystore directory holding the log "
+                             "tenant's keys")
+    p_audit.add_argument("--tenant", default="ledger",
+                        help="log signing tenant (default: ledger)")
+    p_audit.add_argument("--key", default="default")
+    p_audit.add_argument("--deterministic", action="store_true",
+                        help="additionally re-sign each checkpoint body "
+                             "on the reference scheme and byte-compare "
+                             "(the differential-oracle cross-check)")
+    p_audit.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON digest report to PATH "
+                             "(default: stdout)")
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_conf = sub.add_parser(
         "conformance",

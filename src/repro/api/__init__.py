@@ -35,6 +35,7 @@ from ..errors import (ConnectionLostError, KeystoreError,
                       UnsupportedVersionError)
 from .base import SigningClient
 from .cluster import AsyncClusterClient, ClusterClient
+from .ledger import verify_inclusion
 from .local import LocalClient
 from .model import (ServiceInfo, SignRequest, SignResult, VerifyRequest,
                     VerifyResult)
@@ -45,7 +46,7 @@ __all__ = [
     "SigningClient", "LocalClient", "TcpClient", "AsyncClient",
     "ClusterClient", "AsyncClusterClient",
     "SignRequest", "SignResult", "VerifyRequest", "VerifyResult",
-    "ServiceInfo",
+    "ServiceInfo", "verify_inclusion",
     "ServiceError", "KeystoreError", "OverloadedError", "ProtocolError",
     "UnknownVerbError", "UnsupportedVersionError", "ConnectionLostError",
     "NodeUnavailableError",

@@ -75,6 +75,27 @@ class SigningClient(abc.ABC):
         return self._verify(VerifyRequest(tenant=tenant, message=message,
                                           signature=signature, key=key))
 
+    def verify_many(self, tenant: str, messages: Sequence[bytes],
+                    signatures: Sequence[bytes],
+                    key: str = "default") -> list[VerifyResult]:
+        """Check each ``(message, signature)`` pair under one tenant key.
+
+        The batched counterpart of :meth:`verify`, mirroring
+        :meth:`sign_many`: remote transports pack ``verify-many`` frames
+        (chunked to the server's ``max_batch``), the local client loops.
+        Each pair answers in order with its own :class:`VerifyResult` —
+        an invalid signature is a result (``valid=False``), not an
+        error.  Unknown tenants/keys and transport failures raise.
+        """
+        if len(messages) != len(signatures):
+            raise ValueError(
+                f"verify_many pairs each message with a signature: got "
+                f"{len(messages)} messages, {len(signatures)} signatures")
+        requests = [VerifyRequest(tenant=tenant, message=message,
+                                  signature=signature, key=key)
+                    for message, signature in zip(messages, signatures)]
+        return self._verify_many(requests) if requests else []
+
     @abc.abstractmethod
     def info(self) -> ServiceInfo:
         """The endpoint's capability advertisement."""
@@ -99,6 +120,13 @@ class SigningClient(abc.ABC):
 
     @abc.abstractmethod
     def _verify(self, request: VerifyRequest) -> VerifyResult: ...
+
+    def _verify_many(self, requests: Sequence[VerifyRequest]
+                     ) -> list[VerifyResult]:
+        # Default: per-pair loop.  In-process transports keep it (one
+        # scheme call each either way); wire transports override to pack
+        # batched verify-many frames.
+        return [self._verify(request) for request in requests]
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "SigningClient":

@@ -1,0 +1,65 @@
+"""Client-side verification for transparency-log inclusion proofs.
+
+The server's ``log-proof`` verb answers with a self-contained
+:class:`~repro.ledger.service.InclusionProof`; :func:`verify_inclusion`
+is the trust boundary on the client side.  It re-derives the tree head
+from the proof path locally (pure hashing, no trust in the server) and
+checks both signatures — the checkpoint's and the entry's own batch
+signature — through the *served* ``verify`` verb, so the same keystore
+that signed the log vouches for it.  A proof only passes when every
+link holds:
+
+1. the entry's leaf hash plus the audit path reproduce exactly the
+   root the checkpoint claims, and
+2. the checkpoint signature verifies over the canonical checkpoint
+   body (recomputed from the claims, never taken off the wire), and
+3. the entry's embedded batch signature verifies over its payload.
+
+Any mismatch answers ``False`` — a proof is evidence, not an error;
+exceptions are reserved for malformed input and transport failures.
+"""
+
+from __future__ import annotations
+
+from ..errors import LedgerError
+from ..ledger.merkle import leaf_hash, root_from_inclusion_path
+from ..ledger.service import InclusionProof, decode_entry
+
+__all__ = ["verify_inclusion"]
+
+
+def verify_inclusion(client, proof: InclusionProof | dict, *,
+                     check_entry_signature: bool = True) -> bool:
+    """Check *proof* end to end against the service at *client*.
+
+    *client* is any typed signing client (local / pooled / tcp /
+    cluster) whose keystore holds the log tenant's key; *proof* is an
+    :class:`~repro.ledger.service.InclusionProof` or its wire dict (the
+    ``log-proof`` response body).  ``check_entry_signature=False`` skips
+    step 3 for entries whose payloads are externally signed.
+    """
+    if isinstance(proof, dict):
+        proof = InclusionProof.from_dict(proof)
+    checkpoint = proof.checkpoint
+    if proof.size != checkpoint.size:
+        return False
+    try:
+        root = root_from_inclusion_path(
+            proof.index, proof.size, leaf_hash(proof.entry),
+            list(proof.path))
+    except LedgerError:
+        return False
+    if root != checkpoint.root:
+        return False
+    if not client.verify(checkpoint.tenant, checkpoint.body,
+                         checkpoint.signature, key=checkpoint.key).valid:
+        return False
+    if check_entry_signature:
+        try:
+            payload, signature = decode_entry(proof.entry)
+        except LedgerError:
+            return False
+        if not client.verify(checkpoint.tenant, payload, signature,
+                             key=checkpoint.key).valid:
+            return False
+    return True

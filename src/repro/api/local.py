@@ -198,7 +198,8 @@ class LocalClient(SigningClient):
             transport=self.transport,
             server="in-process",
             protocol_version=2,
-            verbs=("info", "keys", "sign", "sign-many", "verify"),
+            verbs=("info", "keys", "sign", "sign-many", "verify",
+                   "verify-many"),
             backend=self.backend_name,
             workers=workers,
             max_batch=None,  # no wire frame: one call, one batch, any size

@@ -134,6 +134,18 @@ class AsyncClient:
         return await self._verify(VerifyRequest(
             tenant=tenant, message=message, signature=signature, key=key))
 
+    async def verify_many(self, tenant: str, messages: Sequence[bytes],
+                          signatures: Sequence[bytes],
+                          key: str = "default") -> list[VerifyResult]:
+        if len(messages) != len(signatures):
+            raise ValueError(
+                f"verify_many pairs each message with a signature: got "
+                f"{len(messages)} messages, {len(signatures)} signatures")
+        requests = [VerifyRequest(tenant=tenant, message=message,
+                                  signature=signature, key=key)
+                    for message, signature in zip(messages, signatures)]
+        return await self._verify_many(requests) if requests else []
+
     def info(self) -> ServiceInfo:
         """The capabilities negotiated at connect time."""
         return self._info
@@ -337,6 +349,58 @@ class AsyncClient:
                             key=request.key, params=response["params"],
                             transport=self.transport)
 
+    async def _verify_many(self, requests: Sequence[VerifyRequest]
+                           ) -> list[VerifyResult]:
+        if not requests:
+            return []
+        for request in requests:
+            self._check_frame_fit(request.message,
+                                  extra=len(request.signature))
+        # Chunk like sign_many, but the byte budget counts both halves of
+        # each pair — message and signature ride the same frame.
+        limit = self._info.max_batch or len(requests)
+        budget = self._message_budget()
+        chunks: list[list[VerifyRequest]] = []
+        chunk_bytes = 0
+        for request in requests:
+            size = len(request.message) + len(request.signature)
+            if not chunks or len(chunks[-1]) >= limit \
+                    or chunk_bytes + size > budget:
+                chunks.append([])
+                chunk_bytes = 0
+            chunks[-1].append(request)
+            chunk_bytes += size
+        if self._wire.binary:
+            responses = await asyncio.gather(*(
+                self._wire.request_frame(
+                    protocol.FRAME_CODES["verify-many"],
+                    protocol.pack_verify_many_request(
+                        chunk[0].tenant, chunk[0].key,
+                        [request.message for request in chunk],
+                        [request.signature for request in chunk]))
+                for chunk in chunks))
+        else:
+            responses = await asyncio.gather(*(
+                self._wire.request({
+                    "op": "verify-many", "tenant": chunk[0].tenant,
+                    "key": chunk[0].key,
+                    "messages": [protocol.pack_bytes(request.message)
+                                 for request in chunk],
+                    "signatures": [protocol.pack_bytes(request.signature)
+                                   for request in chunk],
+                }) for chunk in chunks))
+        results: list[VerifyResult] = []
+        for chunk, response in zip(chunks, responses):
+            for request, item in zip(chunk, response["results"]):
+                if not item.get("ok"):
+                    raise protocol.error_type(item.get("error"))(
+                        item.get("detail", "verify-many item failed"))
+                results.append(VerifyResult(
+                    valid=item["valid"], tenant=request.tenant,
+                    key=request.key, params=item["params"],
+                    transport=self.transport))
+        return results
+
 
 class TcpClient(SigningClient):
     """Synchronous typed client over TCP.
@@ -398,6 +462,10 @@ class TcpClient(SigningClient):
 
     def _verify(self, request: VerifyRequest) -> VerifyResult:
         return self._call(self._client._verify(request))
+
+    def _verify_many(self, requests: Sequence[VerifyRequest]
+                     ) -> list[VerifyResult]:
+        return self._call(self._client._verify_many(requests))
 
     def info(self) -> ServiceInfo:
         return self._client.info()

@@ -115,6 +115,13 @@ class ConnectionLostError(ServiceError, ConnectionError):
         self.in_flight = tuple(in_flight)
 
 
+class LedgerError(ServiceError):
+    """The transparency log refused a request or failed an integrity
+    check: an unknown entry index, a proof requested for a tree size no
+    sealed checkpoint covers, or an audit replay that found a tree head
+    or checkpoint signature that does not match the log's entries."""
+
+
 class GpuModelError(ReproError):
     """Base class for GPU-simulator configuration/usage errors."""
 

@@ -1,0 +1,26 @@
+"""``repro.ledger`` — the signed transparency-log pipeline.
+
+An append-only, Merkle-chained audit log on top of the signing tiers:
+ingested events are batch-signed via the typed facade's ``sign_many``,
+each sealed batch produces a signed tree head (checkpoint), and
+consumers verify inclusion proofs plus the checkpoint signature through
+the served ``verify`` path.  See
+:mod:`repro.ledger.merkle` (hashing, proofs, persisted segments),
+:mod:`repro.ledger.service` (ingest/seal pipeline + the ledger verbs),
+and :mod:`repro.ledger.audit` (the replay/digest job behind
+``repro audit``).
+"""
+
+from .audit import run_audit
+from .merkle import (EMPTY_ROOT, MerkleLog, leaf_hash, node_hash,
+                     root_from_inclusion_path, verify_consistency_path)
+from .service import (AppendReceipt, Checkpoint, InclusionProof,
+                      LedgerServer, LedgerService, checkpoint_body,
+                      decode_entry, encode_entry)
+
+__all__ = [
+    "AppendReceipt", "Checkpoint", "EMPTY_ROOT", "InclusionProof",
+    "LedgerServer", "LedgerService", "MerkleLog", "checkpoint_body",
+    "decode_entry", "encode_entry", "leaf_hash", "node_hash",
+    "root_from_inclusion_path", "run_audit", "verify_consistency_path",
+]

@@ -287,6 +287,26 @@ class ServiceClient:
                     protocol.unpack_bytes(payload.get("signature", ""),
                                           name="signature")),
                 id=request_id)
+        if op == "verify-many":
+            messages = payload.get("messages")
+            signatures = payload.get("signatures")
+            if not isinstance(messages, list) \
+                    or not isinstance(signatures, list):
+                raise ProtocolError(
+                    "'messages' and 'signatures' must be lists of "
+                    "base64 strings")
+            return protocol.encode_frame(
+                protocol.FRAME_CODES["verify-many"],
+                protocol.pack_verify_many_request(
+                    payload.get("tenant", ""),
+                    payload.get("key", "default"),
+                    [protocol.unpack_bytes(item,
+                                           name=f"messages[{index}]")
+                     for index, item in enumerate(messages)],
+                    [protocol.unpack_bytes(item,
+                                           name=f"signatures[{index}]")
+                     for index, item in enumerate(signatures)]),
+                id=request_id)
         code = protocol.FRAME_CODES.get(op) if isinstance(op, str) else None
         if code is None:
             raise ProtocolError(
@@ -407,6 +427,8 @@ class ServiceClient:
             response = protocol.unpack_sign_result(frame.payload)
         elif frame.verb == protocol.FRAME_CODES["verify"]:
             response = protocol.unpack_verify_result(frame.payload)
+        elif frame.verb == protocol.FRAME_CODES["verify-many"]:
+            response = protocol.unpack_verify_many_result(frame.payload)
         else:
             response = protocol.unpack_json(frame.payload)
         future = self._pending.pop(frame.id, None)

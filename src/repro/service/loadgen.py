@@ -130,6 +130,7 @@ class LoadReport:
     trace: str
     offered: int
     signed: int = 0
+    verified: int = 0
     shed: int = 0
     failed: int = 0
     elapsed_s: float = 0.0
@@ -142,7 +143,8 @@ class LoadReport:
 
     @property
     def achieved_rate(self) -> float:
-        return self.signed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        done = self.signed + self.verified
+        return done / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     def latency_ms(self, p: float) -> float:
         return round(percentile(self.latencies_ms, p), 3)
@@ -151,10 +153,10 @@ class LoadReport:
         from ..analysis.reporting import format_table
 
         return format_table(
-            ["trace", "offered", "signed", "shed", "failed", "wall s",
-             "req/s", "p50 ms", "p95 ms", "p99 ms"],
-            [[self.trace, self.offered, self.signed, self.shed,
-              self.failed, round(self.elapsed_s, 2),
+            ["trace", "offered", "signed", "verified", "shed", "failed",
+             "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+            [[self.trace, self.offered, self.signed, self.verified,
+              self.shed, self.failed, round(self.elapsed_s, 2),
               round(self.achieved_rate, 2), self.latency_ms(50),
               self.latency_ms(95), self.latency_ms(99)]],
             title="Load generation (client-observed latency)",
@@ -162,14 +164,32 @@ class LoadReport:
 
 
 class LoadGenerator:
-    """Replay an arrival trace against an async signer."""
+    """Replay an arrival trace against an async signer.
+
+    ``verify_fraction`` turns that fraction of the trace's requests into
+    verify operations issued through *verifier* (seeded, deterministic:
+    the same trace + seed always verifies the same indexes), so one
+    trace can model verification-dominant traffic — a transparency-log
+    deployment serves far more proof checks than appends.
+    """
 
     def __init__(self, signer: Signer,
                  message_factory: Callable[[int], bytes] | None = None,
-                 time_scale: float = 1.0):
+                 time_scale: float = 1.0,
+                 verifier: Signer | None = None,
+                 verify_fraction: float = 0.0, seed: int = 0):
         if time_scale <= 0:
             raise ServiceError(f"time_scale must be > 0, got {time_scale}")
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ServiceError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}")
+        if verify_fraction > 0.0 and verifier is None:
+            raise ServiceError(
+                "verify_fraction > 0 needs a verifier callable")
         self._signer = signer
+        self._verifier = verifier
+        self._verify_fraction = verify_fraction
+        self._seed = seed
         self._message_factory = (message_factory or
                                  (lambda i: f"loadgen message #{i}".encode()))
         self._time_scale = time_scale
@@ -179,22 +199,37 @@ class LoadGenerator:
         """Issue one request per offset (scaled); returns the report."""
         report = LoadReport(trace=trace, offered=len(offsets))
         loop = asyncio.get_running_loop()
+        # Which indexes verify is decided up front in index order, so the
+        # mix is reproducible regardless of completion interleaving.
+        rng = random.Random(self._seed)
+        verify_at = {index for index in range(len(offsets))
+                     if self._verify_fraction > 0.0
+                     and rng.random() < self._verify_fraction}
         start = loop.time()
 
         async def one(index: int, offset: float) -> None:
             delay = start + offset * self._time_scale - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
+            verifying = index in verify_at
             issued = loop.time()
             try:
-                response = await self._signer(self._message_factory(index))
+                if verifying:
+                    response = await self._verifier(
+                        self._message_factory(index))
+                else:
+                    response = await self._signer(
+                        self._message_factory(index))
             except OverloadedError:
                 report.shed += 1
                 return
             except Exception:  # noqa: BLE001 — loadgen counts, not raises
                 report.failed += 1
                 return
-            report.signed += 1
+            if verifying:
+                report.verified += 1
+            else:
+                report.signed += 1
             report.latencies_ms.append((loop.time() - issued) * 1000.0)
             if isinstance(response, dict) and "batch_size" in response:
                 report.batch_sizes.append(response["batch_size"])

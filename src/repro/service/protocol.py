@@ -99,8 +99,9 @@ import struct
 from dataclasses import dataclass
 
 from ..errors import (ConnectionLostError, FrameTooLargeError, KeystoreError,
-                      NodeUnavailableError, OverloadedError, ProtocolError,
-                      ServiceError, UnknownVerbError, UnsupportedVersionError)
+                      LedgerError, NodeUnavailableError, OverloadedError,
+                      ProtocolError, ServiceError, UnknownVerbError,
+                      UnsupportedVersionError)
 from ..params import PARAMETER_SETS
 
 __all__ = [
@@ -154,6 +155,7 @@ ERROR_UNKNOWN_VERB = "unknown-verb"            # v2: op not in the verb table
 ERROR_UNSUPPORTED_VERSION = "unsupported-version"
 ERROR_CONNECTION_LOST = "connection-lost"      # client-side synthetic code
 ERROR_UNAVAILABLE = "unavailable"              # cluster: no live node owns it
+ERROR_LEDGER = "ledger"                        # transparency-log refusal
 
 #: Wire error code -> the typed exception a client raises for it.  The
 #: single authoritative map: both the v1 ServiceClient and the repro.api
@@ -166,6 +168,7 @@ ERROR_TYPES: dict[str, type[ServiceError]] = {
     ERROR_UNSUPPORTED_VERSION: UnsupportedVersionError,
     ERROR_CONNECTION_LOST: ConnectionLostError,
     ERROR_UNAVAILABLE: NodeUnavailableError,
+    ERROR_LEDGER: LedgerError,
 }
 
 
@@ -228,10 +231,14 @@ MAX_MESSAGE_BYTES_V3 = FRAME_LIMIT - 4096
 MAX_SIGN_MANY_V3 = 64
 
 #: Frame verb codes.  Responses echo the request's code; the three
-#: reserved codes below never appear in requests.
+#: reserved codes below never appear in requests.  The ledger verbs
+#: (``log-*``) are cold: their payloads are the v2 JSON bodies, like
+#: ``stats``/``keys`` — only ``verify-many`` joins the hot binary set.
 FRAME_CODES: dict[str, int] = {
     "hello": 0x01, "ping": 0x02, "stats": 0x03, "sign": 0x04,
     "verify": 0x05, "sign-many": 0x06, "keys": 0x07, "metrics": 0x08,
+    "verify-many": 0x09, "log-append": 0x0A, "log-proof": 0x0B,
+    "log-checkpoint": 0x0C,
 }
 FRAME_VERBS: dict[int, str] = {code: op for op, code in FRAME_CODES.items()}
 FRAME_SIGN_MANY_ITEM = 0x10   # one streamed sign-many result
@@ -490,6 +497,87 @@ def unpack_verify_result(payload: bytes | memoryview) -> dict:
               "params": cursor.str8("params")}
     cursor.done("verify result")
     return result
+
+
+# --- verify-many --------------------------------------------------------
+def pack_verify_many_request(tenant: str, key: str,
+                             messages: list[bytes],
+                             signatures: list[bytes]) -> bytes:
+    """One v3 verify-many frame: paired raw (message, signature) items.
+
+    Verdicts are one byte each, so the response is a single small frame
+    — no streaming variant needed, unlike ``sign-many``.
+    """
+    if not messages:
+        raise ProtocolError("'messages' must be a non-empty list")
+    if len(messages) != len(signatures):
+        raise ProtocolError(
+            f"verify-many pairs each message with a signature: got "
+            f"{len(messages)} messages, {len(signatures)} signatures")
+    if len(messages) > MAX_SIGN_MANY_V3:
+        raise ProtocolError(
+            f"verify-many frame holds {len(messages)} pairs; v3 caps "
+            f"frames at {MAX_SIGN_MANY_V3} — split the batch")
+    return b"".join((
+        _str8(tenant, "tenant"), _str8(key, "key"),
+        len(messages).to_bytes(2, "big"),
+        *(part for message, signature in zip(messages, signatures)
+          for part in (_bytes32(message), _bytes32(signature))),
+    ))
+
+
+def unpack_verify_many_request(payload: bytes | memoryview) -> dict:
+    cursor = _Cursor(payload)
+    tenant = cursor.str8("tenant")
+    key = cursor.str8("key")
+    count = cursor.u16("count")
+    if count == 0:
+        raise ProtocolError("'messages' must be a non-empty list")
+    if count > MAX_SIGN_MANY_V3:
+        raise ProtocolError(
+            f"verify-many frame declares {count} pairs; this server "
+            f"caps v3 frames at {MAX_SIGN_MANY_V3} (see 'max_batch' in "
+            "the hello response) — split the batch")
+    messages, signatures = [], []
+    for index in range(count):
+        messages.append(cursor.bytes32(f"messages[{index}]"))
+        signatures.append(cursor.bytes32(f"signatures[{index}]"))
+    cursor.done("verify-many")
+    return {"tenant": tenant, "key": key or "default",
+            "messages": messages, "signatures": signatures}
+
+
+def pack_verify_many_result(items: list[dict]) -> bytes:
+    """Per-item verdicts: ok items carry valid+params, failed items the
+    same code/detail pair every error path uses."""
+    parts = [len(items).to_bytes(2, "big")]
+    for item in items:
+        if item.get("ok"):
+            parts.append(b"\1" + (b"\1" if item["valid"] else b"\0")
+                         + _str8(item["params"], "params"))
+        else:
+            parts.append(b"\0" + _str8(item["error"], "error")
+                         + _str16(item.get("detail", "")))
+    return b"".join(parts)
+
+
+def unpack_verify_many_result(payload: bytes | memoryview) -> dict:
+    cursor = _Cursor(payload)
+    count = cursor.u16("count")
+    results = []
+    for index in range(count):
+        if cursor.u8(f"results[{index}].ok"):
+            results.append({
+                "ok": True,
+                "valid": bool(cursor.u8(f"results[{index}].valid")),
+                "params": cursor.str8(f"results[{index}].params")})
+        else:
+            results.append({
+                "ok": False,
+                "error": cursor.str8(f"results[{index}].error"),
+                "detail": cursor.str16(f"results[{index}].detail")})
+    cursor.done("verify-many result")
+    return {"ok": True, "results": results}
 
 
 # --- sign-many (streaming) ---------------------------------------------

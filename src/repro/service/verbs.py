@@ -20,13 +20,14 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable
 
-from ..errors import (KeystoreError, NodeUnavailableError, OverloadedError,
-                      ProtocolError, UnknownVerbError)
+from ..errors import (KeystoreError, LedgerError, NodeUnavailableError,
+                      OverloadedError, ProtocolError, UnknownVerbError)
 from ..obs.trace import TraceContext, new_span_id, use_trace
 from . import protocol
 
 __all__ = ["ConnectionState", "FieldSpec", "Verb", "VerbRegistry",
-           "default_registry", "error_body", "serve_frame"]
+           "default_registry", "error_body", "ledger_registry",
+           "serve_frame"]
 
 
 @dataclass
@@ -96,18 +97,31 @@ def _format(value: object, name: str) -> str:
     return value
 
 
-def _b64_list(value: object, name: str) -> list[bytes]:
+def _b64_list(value: object, name: str,
+              cap: int = protocol.MAX_SIGN_MANY) -> list[bytes]:
     if not isinstance(value, list) or not value:
         raise ProtocolError(f"{name!r} must be a non-empty list of "
                             "base64 strings")
-    if len(value) > protocol.MAX_SIGN_MANY:
+    if len(value) > cap:
         raise ProtocolError(
-            f"{name!r} holds {len(value)} messages; this server caps "
-            f"sign-many frames at {protocol.MAX_SIGN_MANY} (see "
-            "'max_batch' in the hello response) — split the batch"
+            f"{name!r} holds {len(value)} items; this server caps "
+            f"batched verbs at {cap} per request (see 'max_batch' in "
+            "the hello response) — split the batch"
         )
     return [protocol.unpack_bytes(item, name=f"{name}[{index}]")
             for index, item in enumerate(value)]
+
+
+def _entry_list(value: object, name: str) -> list[bytes]:
+    # Ledger appends seal in MAX_SEAL_BATCH waves server-side, so the
+    # wire cap matches the v3 batch ceiling rather than MAX_SIGN_MANY.
+    return _b64_list(value, name, cap=protocol.MAX_SIGN_MANY_V3)
+
+
+def _index(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ProtocolError(f"{name!r} must be an integer >= 0")
+    return value
 
 
 def _spec(name: str, kind: Callable[[object, str], Any], *,
@@ -283,6 +297,89 @@ async def _verb_sign_many(server, conn: ConnectionState, args: dict) -> dict:
     return response
 
 
+async def _verb_verify_many(server, conn: ConnectionState,
+                            args: dict) -> dict:
+    # Mirrors sign-many: tenant/key resolution failures fail the whole
+    # frame (nothing could have verified), per-pair failures come back
+    # per item.  An invalid signature is a *result* (valid: false), not
+    # an error — only malformed input or infra failures land in errors.
+    tenant, key = args["tenant"], args["key"]
+    if len(args["messages"]) != len(args["signatures"]):
+        raise ProtocolError(
+            f"verify-many pairs each message with a signature: got "
+            f"{len(args['messages'])} messages, "
+            f"{len(args['signatures'])} signatures")
+    server.service.keystore.resolve(tenant, key)
+    outcomes = await asyncio.gather(
+        *(server.service.verify(message, signature, tenant, key_name=key)
+          for message, signature in zip(args["messages"],
+                                        args["signatures"])),
+        return_exceptions=True)
+    results = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            code, detail = error_body(outcome, conn.version)
+            results.append({"ok": False, "error": code, "detail": detail})
+        else:
+            valid, params = outcome
+            results.append({"ok": True, "valid": valid, "params": params})
+    return {"ok": True, "op": "verify-many", "tenant": tenant, "key": key,
+            "results": results}
+
+
+def _ledger(server):
+    ledger = getattr(server, "ledger", None)
+    if ledger is None:
+        raise LedgerError(
+            "this server does not host a transparency log — connect to "
+            "a LedgerServer for the log-* verbs")
+    return ledger
+
+
+async def _verb_log_append(server, conn: ConnectionState,
+                           args: dict) -> dict:
+    ledger = _ledger(server)
+    # A client trace id becomes the ambient context for the whole
+    # pipeline, so one trace spans ingest -> batch-sign -> checkpoint.
+    with use_trace(TraceContext(args["trace"], new_span_id())
+                   if args.get("trace") else None):
+        receipts = await ledger.append_many(args["entries"])
+    response = {
+        "ok": True, "op": "log-append",
+        "receipts": [{"index": receipt.index,
+                      "leaf_hash": receipt.leaf_hash.hex(),
+                      "size": receipt.checkpoint.size}
+                     for receipt in receipts],
+        "checkpoint": receipts[-1].checkpoint.as_dict(),
+    }
+    if args.get("trace"):
+        response["trace"] = args["trace"]
+    return response
+
+
+async def _verb_log_proof(server, conn: ConnectionState,
+                          args: dict) -> dict:
+    ledger = _ledger(server)
+    proof = ledger.prove(args["index"], args["size"])
+    return {"ok": True, "op": "log-proof", "proof": proof.as_dict()}
+
+
+async def _verb_log_checkpoint(server, conn: ConnectionState,
+                               args: dict) -> dict:
+    ledger = _ledger(server)
+    head = ledger.head
+    if head is None:
+        raise LedgerError("the log has no sealed checkpoint yet")
+    response = {"ok": True, "op": "log-checkpoint",
+                "checkpoint": head.as_dict()}
+    if args.get("since") is not None:
+        head, path = ledger.consistency(args["since"])
+        response["checkpoint"] = head.as_dict()
+        response["since"] = args["since"]
+        response["consistency"] = [node.hex() for node in path]
+    return response
+
+
 async def _verb_metrics(server, conn: ConnectionState, args: dict) -> dict:
     registry = server.service.metrics_registry
     if args["format"] == "prometheus":
@@ -323,6 +420,8 @@ def error_body(exc: BaseException, version: int) -> tuple[str, str]:
         return protocol.ERROR_UNAVAILABLE, str(exc)
     if isinstance(exc, KeystoreError):
         return protocol.ERROR_UNKNOWN_KEY, str(exc)
+    if isinstance(exc, LedgerError):
+        return protocol.ERROR_LEDGER, str(exc)
     return protocol.ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"
 
 
@@ -403,10 +502,36 @@ async def _frame_sign_many(server, conn: ConnectionState,
         flags=protocol.FLAG_OK))
 
 
+async def _frame_verify_many(server, conn: ConnectionState,
+                             frame: protocol.Frame, send) -> None:
+    """Binary verify-many: verdicts are one byte each, so the whole
+    batch answers in a single small frame — no streaming variant."""
+    args = protocol.unpack_verify_many_request(frame.payload)
+    tenant, key = args["tenant"], args["key"]
+    server.service.keystore.resolve(tenant, key)
+    outcomes = await asyncio.gather(
+        *(server.service.verify(message, signature, tenant, key_name=key)
+          for message, signature in zip(args["messages"],
+                                        args["signatures"])),
+        return_exceptions=True)
+    results = []
+    for outcome in outcomes:
+        if isinstance(outcome, BaseException):
+            code, detail = error_body(outcome, conn.version)
+            results.append({"ok": False, "error": code, "detail": detail})
+        else:
+            valid, params = outcome
+            results.append({"ok": True, "valid": valid, "params": params})
+    await send(protocol.encode_frame(
+        frame.verb, protocol.pack_verify_many_result(results),
+        id=frame.id, flags=protocol.FLAG_OK))
+
+
 _HOT_FRAMES = {
     protocol.FRAME_CODES["sign"]: _frame_sign,
     protocol.FRAME_CODES["verify"]: _frame_verify,
     protocol.FRAME_CODES["sign-many"]: _frame_sign_many,
+    protocol.FRAME_CODES["verify-many"]: _frame_verify_many,
 }
 
 
@@ -479,6 +604,12 @@ def default_registry() -> VerbRegistry:
                      _spec("deadline_ms", _deadline, required=False),
                      _spec("trace", _trace_id, required=False)),
              summary="sign up to max_batch messages in one frame"),
+        Verb("verify-many", _verb_verify_many, min_version=2,
+             fields=(_spec("tenant", _string),
+                     _spec("key", _string, required=False, default="default"),
+                     _spec("messages", _b64_list),
+                     _spec("signatures", _b64_list)),
+             summary="verify up to max_batch (message, signature) pairs"),
         Verb("keys", _verb_keys, min_version=2,
              fields=(_spec("tenant", _string),),
              summary="list a tenant's named keys"),
@@ -487,3 +618,29 @@ def default_registry() -> VerbRegistry:
                            default="json"),),
              summary="unified metrics registry (json or prometheus)"),
     ))
+
+
+def ledger_registry() -> VerbRegistry:
+    """The stock protocol plus the transparency-log verbs.
+
+    :class:`~repro.ledger.service.LedgerServer` serves this table, so
+    one port answers both signing and log traffic; the log verbs ride
+    the cold JSON path in v3 (their payloads are proofs and receipts,
+    not raw signatures, so binary framing buys nothing).
+    """
+    registry = default_registry()
+    registry.register(Verb(
+        "log-append", _verb_log_append, min_version=2,
+        fields=(_spec("entries", _entry_list),
+                _spec("trace", _trace_id, required=False)),
+        summary="append entries; acks with a covering signed checkpoint"))
+    registry.register(Verb(
+        "log-proof", _verb_log_proof, min_version=2,
+        fields=(_spec("index", _index),
+                _spec("size", _index, required=False)),
+        summary="inclusion proof for one entry against a sealed head"))
+    registry.register(Verb(
+        "log-checkpoint", _verb_log_checkpoint, min_version=2,
+        fields=(_spec("since", _index, required=False),),
+        summary="latest signed tree head (+ consistency from 'since')"))
+    return registry

@@ -228,6 +228,15 @@ class DifferentialOracle:
         frames with streamed sign-many) — both against a live server.
         Each path byte-compares against the reference and additionally
         round-trips a ``verify`` call through the same facade.
+    include_ledger:
+        Also push the corpus through the transparency-log pipeline
+        (``ledger:audit``): append every message to a disk-backed
+        :class:`~repro.ledger.service.LedgerService`, byte-compare the
+        batch signatures embedded in the committed entries against the
+        reference, check every receipt's inclusion proof client-side,
+        and replay the log with :func:`repro.ledger.run_audit` in
+        deterministic mode — each checkpoint signature must byte-match
+        a reference re-sign of the same tree head.
     fault / fault_target:
         Optional :class:`BitFlipFault` installed on *fault_target*'s
         direct-backend pass — the oracle then demonstrates detection.
@@ -240,6 +249,7 @@ class DifferentialOracle:
                  include_scheduler: bool = True,
                  include_service: bool = True,
                  include_clients: bool = True,
+                 include_ledger: bool = True,
                  service_backend: str = "vectorized",
                  service_workers: int = 2,
                  fault: BitFlipFault | CachedNodeFault | None = None,
@@ -252,6 +262,7 @@ class DifferentialOracle:
         self.include_scheduler = include_scheduler
         self.include_service = include_service
         self.include_clients = include_clients
+        self.include_ledger = include_ledger
         self.service_backend = service_backend
         self.service_workers = service_workers
         self.fault = fault
@@ -344,6 +355,9 @@ class DifferentialOracle:
             results.append(asyncio.run(
                 self._run_client_cluster(scheme, keys, expected,
                                          chaos=True)))
+        if self.include_ledger and self.fault is None:
+            results.append(asyncio.run(
+                self._run_ledger(scheme, keys, expected)))
 
         fault_hop = None
         if self.fault is not None and self.corpus:
@@ -756,5 +770,75 @@ class DifferentialOracle:
             if service is not None:
                 await service.drain()
                 service.close()
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    async def _run_ledger(self, scheme: Sphincs, keys: KeyPair,
+                          expected: dict[str, bytes]) -> PathResult:
+        """Corpus -> transparency log -> differential audit.
+
+        Three nets, in order: the batch signature embedded in each
+        committed entry must byte-match the reference; every
+        acknowledged receipt must yield an inclusion proof the
+        client-side checker accepts (the pipeline's core invariant);
+        and the deterministic replay audit over the raw on-disk bytes
+        must re-sign every checkpoint body to the identical signature.
+        """
+        import tempfile
+        from pathlib import Path
+
+        from ..api import LocalClient, verify_inclusion
+        from ..ledger import LedgerService, decode_entry, run_audit
+
+        result = PathResult(path="ledger:audit")
+        started = time.perf_counter()
+        client = None
+        try:
+            with tempfile.TemporaryDirectory(
+                    prefix="repro-oracle-ledger-") as tmp:
+                root = Path(tmp) / "log"
+                keystore = self._client_keystore()
+                client = LocalClient(keystore, backend=self.service_backend,
+                                     deterministic=True)
+                ledger = LedgerService(
+                    client, tenant="oracle", root=root,
+                    batch_size=max(2, len(self.corpus) // 2))
+                receipts = await ledger.append_many(
+                    [message for _, message in self.corpus])
+                produced = {case: decode_entry(receipt.entry)[1]
+                            for (case, _), receipt
+                            in zip(self.corpus, receipts)}
+                self._compare(result, scheme, keys, expected, produced)
+                for (case, _), receipt in zip(self.corpus, receipts):
+                    proof = ledger.prove(receipt.index,
+                                         receipt.checkpoint.size)
+                    if not verify_inclusion(client, proof):
+                        result.divergences.append(Divergence(
+                            path=result.path, case=case, stage="inclusion",
+                            verify_failed=True,
+                            detail=f"acknowledged entry {receipt.index} "
+                                   "has no verifying inclusion proof"))
+                await ledger.close()
+                report = run_audit(root, keystore, tenant="oracle",
+                                   deterministic=True)
+                if not report["ok"]:
+                    for problem in report["problems"]:
+                        result.divergences.append(Divergence(
+                            path=result.path, case="<audit>", stage="audit",
+                            verify_failed=True, detail=problem))
+                elif report["signatures_matched"] != report["checkpoints"]:
+                    result.divergences.append(Divergence(
+                        path=result.path, case="<audit>", stage="audit",
+                        verify_failed=False,
+                        detail=f"only {report['signatures_matched']} of "
+                               f"{report['checkpoints']} checkpoint "
+                               "signatures matched the reference"))
+        except TuningError as exc:
+            result.skipped = str(exc)
+        except Exception as exc:  # noqa: BLE001
+            result.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if client is not None:
+                client.close()
         result.elapsed_s = time.perf_counter() - started
         return result

@@ -243,3 +243,63 @@ class TestConnectFactory:
                                         get_params("128f").n)
             scheme = Sphincs("128f", deterministic=True)
             assert keys == scheme.keygen(seed=expected_seed)
+
+
+class TestVerifyMany:
+    """verify_many mirrors sign_many on every transport: per-pair typed
+    verdicts in request order, invalid = a result, not an error."""
+
+    def test_local_mixed_verdicts_in_order(self):
+        messages = [b"vm-0", b"vm-1"]
+        expected, _ = reference_signatures(messages)
+        with make_local() as client:
+            verdicts = client.verify_many(
+                "acme", [messages[0], messages[1], b"tampered"],
+                [expected[0], expected[1], expected[0]])
+            assert [v.valid for v in verdicts] == [True, True, False]
+            assert all(v.tenant == "acme" for v in verdicts)
+            assert client.verify_many("acme", [], []) == []
+
+    def test_length_mismatch_rejected(self):
+        with make_local() as client:
+            with pytest.raises(ValueError, match="pairs each message"):
+                client.verify_many("acme", [b"one"], [])
+
+    def test_tcp_binary_frames_round_trip(self, live_server):
+        messages = [b"w0", b"w1", b"w2"]
+        expected, _ = reference_signatures(messages)
+        with api.connect("tcp", port=live_server.port) as client:
+            assert client.info().supports("verify-many")
+            verdicts = client.verify_many(
+                "acme", messages + [b"evil"],
+                expected + [expected[0]])
+            assert [v.valid for v in verdicts] == [True, True, True,
+                                                   False]
+            assert all(v.transport == "tcp" for v in verdicts)
+            assert all(v.params == "SPHINCS+-128f" for v in verdicts)
+
+    def test_tcp_unknown_tenant_raises_once(self, live_server):
+        with api.connect("tcp", port=live_server.port) as client:
+            with pytest.raises(KeystoreError):
+                client.verify_many("ghost", [b"x"], [b"\0" * 17088])
+
+    def test_v2_json_wire_chunks_past_max_batch(self, live_server):
+        from repro.service import protocol
+
+        [signature], _ = reference_signatures([b"chunked"])
+        count = protocol.MAX_SIGN_MANY + 2  # forces a second chunk
+
+        async def scenario():
+            client = await api.AsyncClient.connect(port=live_server.port,
+                                                   version=2)
+            try:
+                assert client.info().max_batch == protocol.MAX_SIGN_MANY
+                verdicts = await client.verify_many(
+                    "acme", [b"chunked"] * count, [signature] * count)
+                assert len(verdicts) == count
+                assert all(v.valid for v in verdicts)
+            finally:
+                await client.close()
+
+        asyncio.run_coroutine_threadsafe(
+            scenario(), live_server.loop).result(120)

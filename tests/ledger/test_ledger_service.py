@@ -1,0 +1,345 @@
+"""LedgerService pipeline tests: seal ordering, recovery, served verbs.
+
+Everything here runs deterministic SPHINCS+-128f so signatures are
+byte-reproducible; the wire tests drive the ``log-*`` verbs over both
+protocol generations against a live :class:`LedgerServer`.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import LocalClient, verify_inclusion
+from repro.errors import LedgerError, ProtocolError, ServiceError
+from repro.ledger import (InclusionProof, LedgerServer, LedgerService,
+                          decode_entry, verify_consistency_path)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.params import get_params
+from repro.service import (Keystore, ServiceClient, SigningService,
+                           derive_seed, protocol)
+
+TENANT = "ledger"
+
+
+def make_client(keystore=None):
+    client = LocalClient(keystore, deterministic=True)
+    client.add_tenant(TENANT, "128f")
+    return client
+
+
+def make_keystore():
+    keystore = Keystore()
+    keystore.add_tenant(TENANT, "128f")
+    keystore.generate_key(TENANT, "default",
+                          seed=derive_seed(f"{TENANT}/default",
+                                           get_params("128f").n))
+    return keystore
+
+
+class TestPipeline:
+    def test_append_acks_with_signed_checkpoint(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            receipts = await ledger.append_many([b"a", b"b", b"c"])
+            await ledger.close()
+            assert [r.index for r in receipts] == [0, 1, 2]
+            head = ledger.head
+            assert head is not None and head.size == 3
+            for receipt in receipts:
+                payload, signature = decode_entry(receipt.entry)
+                assert client.verify(TENANT, payload, signature).valid
+                assert receipt.checkpoint.size >= receipt.index + 1
+            # The checkpoint signature covers the recomputed body.
+            assert client.verify(TENANT, head.body, head.signature).valid
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_inclusion_proof_round_trip(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=4)
+            receipts = await ledger.append_many(
+                [f"event {i}".encode() for i in range(5)])
+            await ledger.close()
+            for receipt in receipts:
+                proof = ledger.prove(receipt.index)
+                assert verify_inclusion(client, proof)
+                # The wire shape round-trips through from_dict too.
+                assert verify_inclusion(client,
+                                        InclusionProof.from_dict(
+                                            proof.as_dict()))
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_consistency_between_sealed_heads(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=8,
+                                   max_wait_ms=5.0)
+            first = await ledger.append_many([b"a", b"b", b"c"])
+            second = await ledger.append_many([b"d", b"e"])
+            await ledger.close()
+            old = first[-1].checkpoint
+            head, path = ledger.consistency(old.size)
+            assert head.size == second[-1].checkpoint.size
+            assert verify_consistency_path(old.size, old.root, head.size,
+                                           head.root, path)
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_signing_failure_commits_nothing(self, tmp_path):
+        class FailingClient:
+            def sign_many(self, tenant, payloads, key="default"):
+                raise ServiceError("signer down")
+
+            def sign(self, tenant, payload, key="default"):
+                raise ServiceError("signer down")
+
+        async def scenario():
+            ledger = LedgerService(FailingClient(), tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=1)
+            with pytest.raises(ServiceError, match="signer down"):
+                await ledger.append(b"doomed")
+            assert ledger.log.size == 0
+            assert ledger.head is None
+            assert not list((tmp_path / "log" / "segments").glob("*.seg"))
+
+        asyncio.run(scenario())
+
+    def test_closed_ledger_rejects_appends(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT, batch_size=1)
+            await ledger.append(b"one")
+            await ledger.close()
+            with pytest.raises(LedgerError, match="closed"):
+                await ledger.append(b"late")
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_non_bytes_payload_rejected(self):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT)
+            with pytest.raises(ProtocolError, match="payload must be"):
+                await ledger.append("a string")
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_metrics_and_spans_flow(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            metrics = MetricsRegistry()
+            tracer = Tracer()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2,
+                                   metrics=metrics, tracer=tracer)
+            receipts = await ledger.append_many([b"a", b"b"])
+            ledger.prove(receipts[0].index)
+            await ledger.close()
+            text = metrics.render_prometheus()
+            assert 'repro_ledger_appends_total{outcome="acked"} 2' in text
+            assert "repro_ledger_checkpoints_total 1" in text
+            assert 'repro_ledger_proofs_total{kind="inclusion"} 1' in text
+            assert "repro_ledger_entries 2" in text
+            names = {span.name for span in tracer.spans()}
+            assert {"append", "seal"} <= names
+            client.close()
+
+        asyncio.run(scenario())
+
+
+class TestRecovery:
+    def test_reload_resumes_from_sealed_head(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            await ledger.append_many([b"a", b"b"])
+            head = ledger.head
+            await ledger.close()
+
+            reborn = LedgerService(make_client(), tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            assert reborn.log.size == 2
+            assert reborn.head is not None
+            assert reborn.head.root == head.root
+            receipts = await reborn.append_many([b"c"])
+            await reborn.close()
+            assert receipts[0].index == 2
+            assert receipts[0].checkpoint.prev_root == head.root
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_crash_between_segment_and_checkpoint_truncates(self,
+                                                            tmp_path):
+        # Simulate the crash window: a segment lands on disk but the
+        # covering checkpoint never does.  Those entries were never
+        # acknowledged, so reload must drop them — the invariant is "no
+        # accepted-but-unverifiable", not "nothing ever lost".
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            await ledger.append_many([b"a", b"b"])
+            sealed = ledger.head.size
+            await ledger.close()
+            # The un-checkpointed tail, written as the crash left it.
+            ledger.log.append([b"never acked"])
+
+            reborn = LedgerService(make_client(), tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            assert reborn.log.size == sealed
+            assert reborn.head.size == sealed
+            receipts = await reborn.append_many([b"c"])
+            await reborn.close()
+            # The truncated index is reused; the new entry is covered.
+            assert receipts[0].index == sealed
+            assert verify_inclusion(make_client(), reborn.prove(sealed))
+            client.close()
+
+        asyncio.run(scenario())
+
+    def test_checkpoint_without_entries_raises(self, tmp_path):
+        async def scenario():
+            client = make_client()
+            ledger = LedgerService(client, tenant=TENANT,
+                                   root=tmp_path / "log", batch_size=2)
+            await ledger.append_many([b"a", b"b"])
+            await ledger.close()
+            client.close()
+
+        asyncio.run(scenario())
+        for segment in (tmp_path / "log" / "segments").glob("*.seg"):
+            segment.unlink()
+        with pytest.raises(LedgerError, match="missing"):
+            LedgerService(make_client(), tenant=TENANT,
+                          root=tmp_path / "log")
+
+
+class TestServedVerbs:
+    @staticmethod
+    async def make_server(tmp_path):
+        keystore = make_keystore()
+        service = SigningService(keystore, target_batch_size=2,
+                                 max_wait_s=0.05, deterministic=True)
+        signer = LocalClient(make_keystore(), deterministic=True)
+        ledger = LedgerService(signer, tenant=TENANT,
+                               root=tmp_path / "log", batch_size=4,
+                               max_wait_ms=10.0)
+        server = LedgerServer(service, ledger, port=0)
+        await server.start()
+        return server, ledger, signer
+
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_log_verbs_over_the_wire(self, tmp_path, version):
+        async def scenario():
+            server, ledger, signer = await self.make_server(tmp_path)
+            client = None
+            try:
+                client = await ServiceClient.open(port=server.port)
+                hello = await client.request({"op": "hello",
+                                              "version": version})
+                assert hello["version"] == version
+                assert client.binary is (version >= 3)
+                appended = await client.request({
+                    "op": "log-append",
+                    "entries": [protocol.pack_bytes(b"wire event %d" % i)
+                                for i in range(3)],
+                })
+                assert appended["ok"]
+                assert [r["index"] for r in appended["receipts"]] == [
+                    0, 1, 2]
+                checkpoint = appended["checkpoint"]
+                assert checkpoint["size"] == 3
+
+                proof = await client.request({"op": "log-proof",
+                                              "index": 1, "size": 3})
+                assert proof["ok"]
+                verifier = LocalClient(make_keystore(),
+                                       deterministic=True)
+                assert verify_inclusion(verifier, proof["proof"])
+                verifier.close()
+
+                head = await client.request({"op": "log-checkpoint"})
+                assert head["ok"]
+                assert head["checkpoint"] == checkpoint
+
+                with pytest.raises(LedgerError):
+                    await client.request({"op": "log-proof", "index": 9,
+                                          "size": 3})
+            finally:
+                if client is not None:
+                    await client.close()
+                await server.stop()
+                signer.close()
+
+        asyncio.run(scenario())
+
+    def test_log_checkpoint_consistency_since(self, tmp_path):
+        async def scenario():
+            server, ledger, signer = await self.make_server(tmp_path)
+            client = None
+            try:
+                client = await ServiceClient.open(port=server.port)
+                await client.request({"op": "hello", "version": 2})
+                first = await client.request({
+                    "op": "log-append",
+                    "entries": [protocol.pack_bytes(b"a"),
+                                protocol.pack_bytes(b"b")]})
+                await client.request({
+                    "op": "log-append",
+                    "entries": [protocol.pack_bytes(b"c")]})
+                old = first["checkpoint"]
+                response = await client.request({"op": "log-checkpoint",
+                                                 "since": old["size"]})
+                head = response["checkpoint"]
+                assert head["size"] == 3
+                assert verify_consistency_path(
+                    old["size"], bytes.fromhex(old["root"]),
+                    head["size"], bytes.fromhex(head["root"]),
+                    [bytes.fromhex(node)
+                     for node in response["consistency"]])
+            finally:
+                if client is not None:
+                    await client.close()
+                await server.stop()
+                signer.close()
+
+        asyncio.run(scenario())
+
+    def test_plain_server_has_no_ledger(self, tmp_path):
+        from repro.service import SigningServer
+        from repro.service.verbs import ledger_registry
+
+        async def scenario():
+            service = SigningService(make_keystore(),
+                                     target_batch_size=1,
+                                     max_wait_s=0.02, deterministic=True)
+            server = SigningServer(service, port=0,
+                                   registry=ledger_registry())
+            await server.start()
+            client = None
+            try:
+                client = await ServiceClient.open(port=server.port)
+                await client.request({"op": "hello", "version": 2})
+                with pytest.raises(LedgerError, match="does not host"):
+                    await client.request({"op": "log-checkpoint"})
+            finally:
+                if client is not None:
+                    await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())

@@ -105,3 +105,76 @@ class TestLoadGenerator:
 
         with pytest.raises(ServiceError, match="time_scale"):
             LoadGenerator(noop, time_scale=0)
+
+
+class TestVerifyFraction:
+    """The verification-dominant traffic knob: a seeded fraction of the
+    trace becomes verify calls, reproducibly."""
+
+    @staticmethod
+    def make(fraction, seed=0):
+        signed, verified = [], []
+
+        async def signer(message):
+            signed.append(message)
+            return {}
+
+        async def verifier(message):
+            verified.append(message)
+            return {}
+
+        generator = LoadGenerator(signer, verifier=verifier,
+                                  verify_fraction=fraction, seed=seed)
+        return generator, signed, verified
+
+    def test_fraction_splits_the_trace(self):
+        async def scenario():
+            generator, signed, verified = self.make(0.5, seed=3)
+            report = await generator.run([0.0] * 40, trace="mix")
+            assert report.signed == len(signed)
+            assert report.verified == len(verified)
+            assert report.signed + report.verified == 40
+            assert report.verified > 0 and report.signed > 0
+            assert "verified" in report.table()
+
+        asyncio.run(scenario())
+
+    def test_mix_is_deterministic_under_seed(self):
+        async def scenario():
+            first, _, first_verified = self.make(0.3, seed=9)
+            await first.run([0.0] * 30)
+            second, _, second_verified = self.make(0.3, seed=9)
+            await second.run([0.0] * 30)
+            assert sorted(first_verified) == sorted(second_verified)
+
+        asyncio.run(scenario())
+
+    def test_extremes(self):
+        async def scenario():
+            all_verify, signed, verified = self.make(1.0)
+            report = await all_verify.run([0.0] * 5)
+            assert (report.signed, report.verified) == (0, 5)
+            assert not signed and len(verified) == 5
+
+            none_verify, signed2, _ = self.make(0.0)
+            report = await none_verify.run([0.0] * 5)
+            assert (report.signed, report.verified) == (5, 0)
+            assert len(signed2) == 5
+
+        asyncio.run(scenario())
+
+    def test_achieved_rate_counts_both_kinds(self):
+        from repro.service.loadgen import LoadReport
+
+        report = LoadReport(trace="t", offered=10, signed=4, verified=6,
+                            elapsed_s=2.0)
+        assert report.achieved_rate == 5.0
+
+    def test_fraction_validation(self):
+        async def noop(message):
+            return {}
+
+        with pytest.raises(ServiceError, match="verify_fraction"):
+            LoadGenerator(noop, verifier=noop, verify_fraction=1.5)
+        with pytest.raises(ServiceError, match="needs a verifier"):
+            LoadGenerator(noop, verify_fraction=0.5)

@@ -23,10 +23,32 @@ class TestCleanTree:
         assert paths == {"reference", "backend:scalar", "backend:vectorized",
                          "backend:scalar+layercache",
                          "backend:vectorized+warm",
-                         "scheduler:scalar", "scheduler:vectorized"}
+                         "scheduler:scalar", "scheduler:vectorized",
+                         "ledger:audit"}
         for result in report.results:
             assert result.count == result.matched == result.verified == 3
         assert "ok" in report.render()
+
+    def test_ledger_path_appends_proves_and_audits(self, differential_oracle):
+        """The ledger:audit path appends the corpus through a real
+        LedgerService, byte-compares the entry payload signatures,
+        requires every receipt's inclusion proof to verify, and replays
+        the on-disk log through the differential audit."""
+        oracle = differential_oracle(
+            "128f", backends=["scalar"], corpus=SMALL_CORPUS,
+            include_scheduler=False)
+        report = oracle.run()
+        assert report.passed, report.render()
+        ledger = next(result for result in report.results
+                      if result.path == "ledger:audit")
+        assert ledger.count == ledger.matched == ledger.verified == 3
+        assert not ledger.error and not ledger.skipped
+
+        without = differential_oracle(
+            "128f", backends=["scalar"], corpus=SMALL_CORPUS,
+            include_scheduler=False, include_ledger=False).run()
+        assert not any(result.path == "ledger:audit"
+                       for result in without.results)
 
     def test_service_path_included(self, differential_oracle):
         oracle = differential_oracle(
